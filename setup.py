@@ -1,0 +1,4 @@
+"""Setup shim so that editable installs work with the offline legacy toolchain."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""Bounded model checking.
+
+BMC is the bounded substrate underneath several unbounded techniques in the
+paper (the base case of k-induction, the counterexample checks of the
+interpolation and kIkI engines).  On its own it can only refute properties —
+exactly the limitation the paper's unbounded techniques remove — so the
+stand-alone engine returns ``UNKNOWN`` when no violation is found within the
+bound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.engines.encoding import FrameEncoder
+from repro.engines.result import Budget, Status, VerificationResult
+from repro.netlist import TransitionSystem
+from repro.smt import BVResult
+
+
+class BMCEngine:
+    """Incremental bounded model checker.
+
+    Parameters
+    ----------
+    system:
+        The design under verification.
+    max_bound:
+        Deepest unrolling to try.
+    representation:
+        ``"word"`` or ``"bit"`` (see :class:`repro.engines.encoding.FrameEncoder`).
+    """
+
+    name = "bmc"
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        max_bound: int = 128,
+        representation: str = "word",
+    ) -> None:
+        self.system = system
+        self.max_bound = max_bound
+        self.representation = representation
+
+    def verify(
+        self, property_name: Optional[str] = None, timeout: Optional[float] = None
+    ) -> VerificationResult:
+        """Search for a violation of ``property_name`` up to ``max_bound`` cycles."""
+        budget = Budget(timeout)
+        property_name = property_name or self.system.properties[0].name
+        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder.solver.set_deadline(budget.deadline)
+        encoder.assert_init(0)
+
+        start = time.monotonic()
+        for bound in range(self.max_bound + 1):
+            if budget.expired():
+                return VerificationResult(
+                    Status.TIMEOUT,
+                    self.name,
+                    property_name,
+                    runtime=budget.elapsed(),
+                    detail={"bound_reached": bound},
+                )
+            property_literal = encoder.property_literal(property_name, bound)
+            outcome = encoder.solver.check(assumptions=[-property_literal])
+            if outcome == BVResult.SAT:
+                cex = encoder.extract_counterexample(property_name, bound)
+                return VerificationResult(
+                    Status.UNSAFE,
+                    self.name,
+                    property_name,
+                    runtime=time.monotonic() - start,
+                    counterexample=cex,
+                    detail={"bound": bound},
+                )
+            if outcome == BVResult.UNKNOWN:
+                return VerificationResult(
+                    Status.TIMEOUT,
+                    self.name,
+                    property_name,
+                    runtime=budget.elapsed(),
+                    detail={"bound_reached": bound},
+                )
+            encoder.assert_trans(bound)
+
+        return VerificationResult(
+            Status.UNKNOWN,
+            self.name,
+            property_name,
+            runtime=time.monotonic() - start,
+            detail={"bound_reached": self.max_bound},
+            reason=f"no counterexample within {self.max_bound} cycles",
+        )

@@ -1,0 +1,219 @@
+"""Lazy abstraction with interpolants (IMPACT; McMillan CAV 2006).
+
+IMPARA, compared in Figure 4 of the paper, implements the IMPACT algorithm
+for software.  The software-netlist has a single program location (the cycle
+loop), so the abstract reachability tree degenerates into a chain of nodes
+``v_0 → v_1 → ...`` — one per unrolled cycle — each labelled with a formula
+over the registers.  The engine
+
+1. expands the chain one node at a time,
+2. when a node's label admits a property violation, checks the corresponding
+   concrete path with a bounded query; a feasible path is a counterexample,
+3. an infeasible path is used to *refine* the labels along the path with
+   sequence interpolants,
+4. when a new node's label is implied by the union of the previous labels the
+   node is *covered*; the accumulated labels then form a candidate invariant
+   which is certified inductive before declaring the design safe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.engines.encoding import FrameEncoder
+from repro.engines.result import Budget, Status, VerificationResult
+from repro.exprs import Expr, TRUE, bool_and, bool_not, bool_or, bv_var, simplify
+from repro.netlist import TransitionSystem
+from repro.sat.interpolate import Interpolator
+from repro.smt import BVResult, BVSolver
+
+
+class ImpactEngine:
+    """IMPACT-style lazy interpolation on the software-netlist."""
+
+    name = "impact"
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        max_depth: int = 48,
+        representation: str = "word",
+    ) -> None:
+        self.system = system
+        self.flat = system.flattened()
+        self.max_depth = max_depth
+        self.representation = representation
+
+    # ------------------------------------------------------------------
+    def verify(
+        self, property_name: Optional[str] = None, timeout: Optional[float] = None
+    ) -> VerificationResult:
+        budget = Budget(timeout)
+        property_name = property_name or self.system.properties[0].name
+        start = time.monotonic()
+
+        init_label = self._init_expr()
+        labels: List[Expr] = [init_label]
+
+        for depth in range(0, self.max_depth + 1):
+            if budget.expired():
+                return self._timeout(property_name, budget, depth)
+            if depth >= len(labels):
+                labels.append(TRUE)
+
+            # 1. does the node's label admit a property violation?
+            if self._label_admits_violation(labels[depth], property_name, budget):
+                # 2. concrete feasibility of the error path of this length
+                feasible, cex = self._path_feasible(property_name, depth, budget)
+                if feasible is None:
+                    return self._timeout(property_name, budget, depth)
+                if feasible:
+                    return VerificationResult(
+                        Status.UNSAFE,
+                        self.name,
+                        property_name,
+                        runtime=time.monotonic() - start,
+                        counterexample=cex,
+                        detail={"depth": depth},
+                    )
+                # 3. refine the labels along the infeasible path
+                for cut in range(1, depth + 1):
+                    interpolant = self._cut_interpolant(property_name, depth, cut, budget)
+                    if interpolant is None:
+                        return self._timeout(property_name, budget, depth)
+                    labels[cut] = simplify(bool_and(labels[cut], interpolant))
+
+            # 4. covering check followed by certification of the candidate invariant
+            if depth > 0 and self._covered(labels, depth, budget):
+                candidate = bool_or(*labels[: depth + 1])
+                if self._certify_invariant(candidate, property_name, budget):
+                    return VerificationResult(
+                        Status.SAFE,
+                        self.name,
+                        property_name,
+                        runtime=time.monotonic() - start,
+                        detail={"depth": depth, "nodes": depth + 1},
+                        reason="covered ART with certified invariant",
+                    )
+
+        return VerificationResult(
+            Status.UNKNOWN,
+            self.name,
+            property_name,
+            runtime=time.monotonic() - start,
+            detail={"max_depth": self.max_depth},
+            reason="unwinding limit reached without covering",
+        )
+
+    # ------------------------------------------------------------------
+    def _init_expr(self) -> Expr:
+        return bool_and(
+            *[
+                bv_var(name, width).eq(self.flat.init[name])
+                for name, width in self.flat.state_vars.items()
+            ]
+        )
+
+    def _label_admits_violation(self, label: Expr, property_name: str, budget: Budget) -> bool:
+        solver = BVSolver()
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(label)
+        prop = self.flat.property_by_name(property_name)
+        solver.assert_expr(bool_not(prop.expr))
+        return solver.check() != BVResult.UNSAT
+
+    def _path_feasible(
+        self, property_name: str, depth: int, budget: Budget
+    ) -> Tuple[Optional[bool], Optional[object]]:
+        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder.solver.set_deadline(budget.deadline)
+        encoder.assert_init(0)
+        for frame in range(depth):
+            encoder.assert_trans(frame)
+        literal = encoder.property_literal(property_name, depth)
+        outcome = encoder.solver.check(assumptions=[-literal])
+        if outcome == BVResult.SAT:
+            return True, encoder.extract_counterexample(property_name, depth)
+        if outcome == BVResult.UNKNOWN:
+            return None, None
+        return False, None
+
+    def _cut_interpolant(
+        self, property_name: str, depth: int, cut: int, budget: Budget
+    ) -> Optional[Expr]:
+        """Interpolant at position ``cut`` of the infeasible error path of length ``depth``."""
+        from repro.engines.interpolation import InterpolationEngine
+
+        encoder = FrameEncoder(self.system, proof=True, representation=self.representation)
+        solver = encoder.solver
+        solver.set_deadline(budget.deadline)
+        sat_solver = solver.solver
+
+        a_start = sat_solver.num_clauses
+        encoder.assert_init(0)
+        for frame in range(cut):
+            encoder.assert_trans(frame)
+        a_end = sat_solver.num_clauses
+
+        solver.blaster.clear_cache()
+
+        b_start = sat_solver.num_clauses
+        for frame in range(cut, depth):
+            encoder.assert_trans(frame)
+        literal = encoder.property_literal(property_name, depth)
+        sat_solver.add_clause([-literal])
+        b_end = sat_solver.num_clauses
+
+        outcome = solver.check()
+        if outcome != BVResult.UNSAT:
+            return None
+        interpolator = Interpolator(sat_solver, range(a_start, a_end), range(b_start, b_end))
+        node = interpolator.compute()
+        helper = InterpolationEngine(self.system, representation=self.representation)
+        return simplify(helper._itp_to_state_expr(node, encoder, frame=cut))
+
+    def _covered(self, labels: List[Expr], depth: int, budget: Budget) -> bool:
+        """Is the newest label implied by the union of the earlier ones?"""
+        solver = BVSolver()
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(labels[depth])
+        solver.assert_expr(bool_not(bool_or(*labels[:depth])))
+        return solver.check() == BVResult.UNSAT
+
+    def _certify_invariant(self, candidate: Expr, property_name: str, budget: Budget) -> bool:
+        """Check Init => R, R ∧ T => R', and R => P for the candidate invariant."""
+        prop = self.flat.property_by_name(property_name)
+        # R => P
+        solver = BVSolver()
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(candidate)
+        solver.assert_expr(bool_not(prop.expr))
+        if solver.check() != BVResult.UNSAT:
+            return False
+        # Init => R  (Init is the first disjunct, so this holds by construction,
+        # but check anyway for robustness)
+        solver = BVSolver()
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(self._init_expr())
+        solver.assert_expr(bool_not(candidate))
+        if solver.check() != BVResult.UNSAT:
+            return False
+        # R ∧ T => R'
+        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder.solver.set_deadline(budget.deadline)
+        encoder.solver.assert_expr(encoder.rename_to_frame(candidate, 0))
+        encoder.assert_trans(0)
+        encoder.solver.assert_expr(
+            encoder.rename_to_frame(bool_not(candidate), 1)
+        )
+        return encoder.solver.check() == BVResult.UNSAT
+
+    def _timeout(self, property_name: str, budget: Budget, depth: int) -> VerificationResult:
+        return VerificationResult(
+            Status.TIMEOUT,
+            self.name,
+            property_name,
+            runtime=budget.elapsed(),
+            detail={"depth": depth},
+        )

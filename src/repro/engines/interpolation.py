@@ -1,0 +1,286 @@
+"""Interpolation-based unbounded model checking (McMillan, CAV 2003).
+
+The engine computes an over-approximation of the reachable states by
+iterating bounded checks and extracting Craig interpolants from their
+refutations:
+
+1. ``R := Init``.
+2. Check ``R(s0) ∧ T(s0,s1) ∧ [T(s1..sk) ∧ ¬P somewhere in frames 1..k]``.
+   If satisfiable and ``R = Init`` the trace is a real counterexample; if
+   satisfiable with ``R ⊃ Init`` the approximation was too coarse, so the
+   unrolling depth ``k`` is increased and the iteration restarts from
+   ``Init``.
+3. If unsatisfiable, the interpolant ``I`` of the partition
+   ``A = R(s0) ∧ T(s0,s1)`` / ``B = rest`` is an over-approximation of the
+   image of ``R`` expressed over the frame-1 state bits.  If ``I`` implies the
+   accumulated reachable-set approximation, a fixpoint is reached and the
+   property is proved; otherwise ``I`` (renamed to frame 0) is added to ``R``
+   and the loop continues.
+
+This is the algorithm behind ABC's interpolation engine at the bit level and
+CPAChecker's interpolation-based analysis at the software level, compared in
+Figure 4 of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.engines.encoding import FrameEncoder, frame_name
+from repro.engines.result import Budget, Status, VerificationResult
+from repro.exprs import (
+    Expr,
+    FALSE,
+    TRUE,
+    bool_and,
+    bool_not,
+    bool_or,
+    bv_extract,
+    bv_var,
+    simplify,
+)
+from repro.netlist import TransitionSystem
+from repro.sat.interpolate import Interpolator, ItpNode
+from repro.smt import BVResult, BVSolver
+
+
+class InterpolationEngine:
+    """McMillan-style interpolation model checker."""
+
+    name = "interpolation"
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        initial_depth: int = 1,
+        max_depth: int = 64,
+        max_iterations: int = 200,
+        representation: str = "word",
+    ) -> None:
+        self.system = system
+        self.initial_depth = max(1, initial_depth)
+        self.max_depth = max_depth
+        self.max_iterations = max_iterations
+        self.representation = representation
+
+    # ------------------------------------------------------------------
+    def verify(
+        self, property_name: Optional[str] = None, timeout: Optional[float] = None
+    ) -> VerificationResult:
+        budget = Budget(timeout)
+        property_name = property_name or self.system.properties[0].name
+        start = time.monotonic()
+
+        # the iteration below only examines frames >= 1, so the initial state
+        # itself is checked once up front
+        initial_check = self._check_initial_state(property_name, budget)
+        if initial_check is not None:
+            return initial_check
+
+        depth = self.initial_depth
+        iterations = 0
+
+        while depth <= self.max_depth:
+            reached_disjuncts: List[Expr] = []  # approximation beyond Init (frame-0 terms)
+            frontier: Optional[Expr] = None  # None means "Init"
+            while True:
+                iterations += 1
+                if budget.expired() or iterations > self.max_iterations:
+                    return self._timeout(property_name, budget, depth, iterations)
+                outcome, interpolant_expr, cex = self._bounded_check(
+                    property_name, frontier, depth, budget
+                )
+                if outcome == "timeout":
+                    return self._timeout(property_name, budget, depth, iterations)
+                if outcome == "sat":
+                    if frontier is None:
+                        return VerificationResult(
+                            Status.UNSAFE,
+                            self.name,
+                            property_name,
+                            runtime=time.monotonic() - start,
+                            counterexample=cex,
+                            detail={"depth": depth},
+                        )
+                    # spurious due to over-approximation: deepen and restart
+                    depth += 1
+                    break
+                # UNSAT: interpolant over-approximates the image of the frontier
+                assert interpolant_expr is not None
+                if self._implies_reached(interpolant_expr, reached_disjuncts, budget):
+                    return VerificationResult(
+                        Status.SAFE,
+                        self.name,
+                        property_name,
+                        runtime=time.monotonic() - start,
+                        detail={
+                            "depth": depth,
+                            "iterations": iterations,
+                            "disjuncts": len(reached_disjuncts) + 1,
+                        },
+                        reason="interpolant fixpoint reached",
+                    )
+                reached_disjuncts.append(interpolant_expr)
+                frontier = interpolant_expr
+        return VerificationResult(
+            Status.UNKNOWN,
+            self.name,
+            property_name,
+            runtime=time.monotonic() - start,
+            detail={"max_depth": self.max_depth},
+            reason="maximum interpolation depth exceeded",
+        )
+
+    # ------------------------------------------------------------------
+    def _check_initial_state(
+        self, property_name: str, budget: Budget
+    ) -> Optional[VerificationResult]:
+        """Return an UNSAFE/TIMEOUT result if the property already fails at cycle 0."""
+        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder.solver.set_deadline(budget.deadline)
+        encoder.assert_init(0)
+        literal = encoder.property_literal(property_name, 0)
+        outcome = encoder.solver.check(assumptions=[-literal])
+        if outcome == BVResult.SAT:
+            cex = encoder.extract_counterexample(property_name, 0)
+            return VerificationResult(
+                Status.UNSAFE,
+                self.name,
+                property_name,
+                runtime=budget.elapsed(),
+                counterexample=cex,
+                detail={"depth": 0},
+            )
+        if outcome == BVResult.UNKNOWN:
+            return self._timeout(property_name, budget, 0, 0)
+        return None
+
+    # ------------------------------------------------------------------
+    def _bounded_check(
+        self,
+        property_name: str,
+        frontier: Optional[Expr],
+        depth: int,
+        budget: Budget,
+    ) -> Tuple[str, Optional[Expr], Optional[object]]:
+        """One interpolation query.
+
+        Returns ``(outcome, interpolant, counterexample)`` where outcome is
+        ``"sat"``, ``"unsat"`` or ``"timeout"``.  The interpolant is an
+        expression over the *unstamped* state variables.
+        """
+        encoder = FrameEncoder(
+            self.system, proof=True, representation=self.representation
+        )
+        solver = encoder.solver
+        solver.set_deadline(budget.deadline)
+        sat_solver = solver.solver
+
+        # ---- A part: frontier at frame 0 and the first transition
+        a_start = sat_solver.num_clauses
+        if frontier is None:
+            encoder.assert_init(0)
+        else:
+            solver.assert_expr(encoder.rename_to_frame(frontier, 0))
+        encoder.assert_trans(0)
+        a_end = sat_solver.num_clauses
+
+        # barrier: B must not share internal Tseitin/gate nodes with A
+        solver.blaster.clear_cache()
+
+        # ---- B part: remaining transitions and the negated property
+        b_start = sat_solver.num_clauses
+        bad_literals = []
+        for frame in range(1, depth):
+            encoder.assert_trans(frame)
+        for frame in range(1, depth + 1):
+            bad_literals.append(-encoder.property_literal(property_name, frame))
+        sat_solver.add_clause(bad_literals)
+        b_end = sat_solver.num_clauses
+
+        outcome = solver.check()
+        if outcome == BVResult.SAT:
+            cex = encoder.extract_counterexample(property_name, depth)
+            return "sat", None, cex
+        if outcome == BVResult.UNKNOWN:
+            return "timeout", None, None
+
+        interpolator = Interpolator(
+            sat_solver, range(a_start, a_end), range(b_start, b_end)
+        )
+        node = interpolator.compute()
+        interpolant = self._itp_to_state_expr(node, encoder, frame=1)
+        return "unsat", simplify(interpolant), None
+
+    # ------------------------------------------------------------------
+    def _itp_to_state_expr(self, node: ItpNode, encoder: FrameEncoder, frame: int) -> Expr:
+        """Convert an interpolant over frame-``frame`` state bits into an expression
+        over the unstamped state variables."""
+        bit_map = encoder.solver.blaster.bit_map()
+        state_widths = encoder.state_vars()
+        suffix = f"@{frame}"
+
+        true_var = abs(encoder.solver.blaster.true_lit)
+
+        def convert(n: ItpNode) -> Expr:
+            if n.kind == "const":
+                return TRUE if n.value else FALSE
+            if n.kind == "lit":
+                variable = abs(n.lit)
+                if variable == true_var:
+                    # the shared constant-true variable
+                    return TRUE if n.lit > 0 else FALSE
+                mapped = bit_map.get(variable)
+                if mapped is None:
+                    raise RuntimeError(
+                        "interpolant mentions an internal solver variable; "
+                        "the A/B sharing barrier was violated"
+                    )
+                name, bit_index = mapped
+                if not name.endswith(suffix):
+                    raise RuntimeError(
+                        f"interpolant variable {name!r} is not a frame-{frame} state bit"
+                    )
+                base = name[: -len(suffix)]
+                if base not in state_widths:
+                    raise RuntimeError(
+                        f"interpolant variable {name!r} does not map to a state variable"
+                    )
+                bit = bv_extract(bv_var(base, state_widths[base]), bit_index, bit_index)
+                return bit if n.lit > 0 else bool_not(bit)
+            children = [convert(child) for child in n.args]
+            if n.kind == "and":
+                return bool_and(*children)
+            return bool_or(*children)
+
+        return convert(node)
+
+    def _implies_reached(
+        self, interpolant: Expr, reached: List[Expr], budget: Budget
+    ) -> bool:
+        """Check whether the new interpolant is already covered (fixpoint test)."""
+        flat = self.system.flattened()
+        init_expr = bool_and(
+            *[
+                bv_var(name, width).eq(flat.init[name])
+                for name, width in flat.state_vars.items()
+            ]
+        )
+        covered = bool_or(init_expr, *reached)
+        solver = BVSolver()
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(interpolant)
+        solver.assert_expr(bool_not(covered))
+        return solver.check() == BVResult.UNSAT
+
+    def _timeout(
+        self, property_name: str, budget: Budget, depth: int, iterations: int
+    ) -> VerificationResult:
+        return VerificationResult(
+            Status.TIMEOUT,
+            self.name,
+            property_name,
+            runtime=budget.elapsed(),
+            detail={"depth": depth, "iterations": iterations},
+        )

@@ -1,0 +1,345 @@
+"""Predicate abstraction with CEGAR (the CPAChecker stand-in).
+
+The engine abstracts the software-netlist by a finite set of predicates over
+the registers.  Abstract states are truth assignments to the predicates;
+abstract successors are enumerated with SAT queries over the concrete
+transition relation (Cartesian-free, i.e. Boolean predicate abstraction).
+A breadth-first search explores the abstract state space:
+
+* if no abstract state violating the property is reachable, the abstraction
+  is a proof and the design is safe;
+* if an abstract error path is found it is replayed concretely (a bounded
+  model checking query of the same length); a feasible replay is a real
+  counterexample, an infeasible one triggers refinement — interpolants along
+  the spurious path contribute new predicates (bit-level atoms), and the
+  search restarts.
+
+The abstract-state and refinement budgets model the practical limits of
+predicate abstraction on bit-level-heavy designs that Figure 5 of the paper
+shows (CPAChecker times out on two benchmarks).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engines.encoding import FrameEncoder
+from repro.engines.result import Budget, Counterexample, Status, VerificationResult
+from repro.exprs import (
+    Expr,
+    TRUE,
+    bool_and,
+    bool_not,
+    bv_var,
+    collect_vars,
+    evaluate,
+    simplify,
+)
+from repro.exprs.nodes import Op
+from repro.netlist import TransitionSystem
+from repro.smt import BVResult, BVSolver
+
+
+AbstractState = Tuple[bool, ...]
+
+
+class PredicateAbstractionEngine:
+    """Boolean predicate abstraction with interpolant-based refinement."""
+
+    name = "predicate-abstraction"
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        max_abstract_states: int = 4000,
+        max_refinements: int = 20,
+        max_predicates: int = 64,
+        representation: str = "word",
+    ) -> None:
+        self.system = system
+        self.flat = system.flattened()
+        self.max_abstract_states = max_abstract_states
+        self.max_refinements = max_refinements
+        self.max_predicates = max_predicates
+        self.representation = representation
+
+    # ------------------------------------------------------------------
+    def verify(
+        self, property_name: Optional[str] = None, timeout: Optional[float] = None
+    ) -> VerificationResult:
+        budget = Budget(timeout)
+        property_name = property_name or self.system.properties[0].name
+        start = time.monotonic()
+        prop = self.flat.property_by_name(property_name)
+
+        predicates: List[Expr] = self._initial_predicates(prop.expr)
+        refinements = 0
+
+        while True:
+            if budget.expired():
+                return self._timeout(property_name, budget, refinements, len(predicates))
+            exploration = self._explore(predicates, prop.expr, budget)
+            if exploration is None:
+                return self._timeout(property_name, budget, refinements, len(predicates))
+            status, error_depth = exploration
+            if status == "safe":
+                return VerificationResult(
+                    Status.SAFE,
+                    self.name,
+                    property_name,
+                    runtime=time.monotonic() - start,
+                    detail={
+                        "predicates": len(predicates),
+                        "refinements": refinements,
+                    },
+                    reason="abstract reachability proof",
+                )
+            if status == "limit":
+                return VerificationResult(
+                    Status.UNKNOWN,
+                    self.name,
+                    property_name,
+                    runtime=time.monotonic() - start,
+                    detail={
+                        "predicates": len(predicates),
+                        "refinements": refinements,
+                    },
+                    reason="abstract state budget exhausted",
+                )
+            # abstract error path of length error_depth: replay concretely
+            feasible, cex = self._replay(property_name, error_depth, budget)
+            if feasible is None:
+                return self._timeout(property_name, budget, refinements, len(predicates))
+            if feasible:
+                return VerificationResult(
+                    Status.UNSAFE,
+                    self.name,
+                    property_name,
+                    runtime=time.monotonic() - start,
+                    counterexample=cex,
+                    detail={"depth": error_depth, "predicates": len(predicates)},
+                )
+            # spurious: refine
+            refinements += 1
+            if refinements > self.max_refinements or len(predicates) >= self.max_predicates:
+                return VerificationResult(
+                    Status.UNKNOWN,
+                    self.name,
+                    property_name,
+                    runtime=time.monotonic() - start,
+                    detail={"predicates": len(predicates), "refinements": refinements},
+                    reason="refinement budget exhausted",
+                )
+            new_predicates = self._refine(property_name, error_depth, budget)
+            if new_predicates is None:
+                return self._timeout(property_name, budget, refinements, len(predicates))
+            added = False
+            for predicate in new_predicates:
+                if predicate not in predicates and len(predicates) < self.max_predicates:
+                    predicates.append(predicate)
+                    added = True
+            if not added:
+                return VerificationResult(
+                    Status.UNKNOWN,
+                    self.name,
+                    property_name,
+                    runtime=time.monotonic() - start,
+                    detail={"predicates": len(predicates), "refinements": refinements},
+                    reason="refinement produced no new predicates",
+                )
+
+    # ------------------------------------------------------------------
+    # predicate discovery
+    # ------------------------------------------------------------------
+    def _initial_predicates(self, property_expr: Expr) -> List[Expr]:
+        """Atoms of the property plus register/initial-value equalities."""
+        predicates: List[Expr] = []
+        state_names = set(self.flat.state_vars)
+
+        def over_state_only(expr: Expr) -> bool:
+            return all(var.name in state_names for var in collect_vars(expr))
+
+        def collect_atoms(expr: Expr) -> None:
+            if isinstance(expr, Op) and expr.op in (
+                "eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge",
+                "redor", "redand",
+            ):
+                if over_state_only(expr) and expr not in predicates:
+                    predicates.append(expr)
+                return
+            if isinstance(expr, Op):
+                for arg in expr.args:
+                    collect_atoms(arg)
+
+        collect_atoms(property_expr)
+        for name, width in self.flat.state_vars.items():
+            equality = bv_var(name, width).eq(self.flat.init[name])
+            if equality not in predicates:
+                predicates.append(equality)
+        return predicates[: self.max_predicates]
+
+    # ------------------------------------------------------------------
+    # abstract exploration
+    # ------------------------------------------------------------------
+    def _abstract_init(self, predicates: List[Expr]) -> AbstractState:
+        init_env = {name: evaluate(expr, {}) for name, expr in self.flat.init.items()}
+        return tuple(bool(evaluate(p, init_env)) for p in predicates)
+
+    def _state_constraint(self, predicates: List[Expr], state: AbstractState) -> Expr:
+        terms = []
+        for predicate, value in zip(predicates, state):
+            terms.append(predicate if value else bool_not(predicate))
+        return bool_and(*terms) if terms else TRUE
+
+    def _explore(
+        self, predicates: List[Expr], property_expr: Expr, budget: Budget
+    ) -> Optional[Tuple[str, int]]:
+        """Breadth-first abstract reachability.
+
+        Returns ("safe", 0), ("error", depth) or ("limit", 0); None on timeout.
+        """
+        initial = self._abstract_init(predicates)
+        visited: Set[AbstractState] = {initial}
+        frontier: List[AbstractState] = [initial]
+        depth = 0
+        while frontier:
+            if budget.expired():
+                return None
+            # does any frontier state admit a violation?
+            for state in frontier:
+                admits = self._admits_violation(predicates, state, property_expr, budget)
+                if admits is None:
+                    return None
+                if admits:
+                    return ("error", depth)
+            next_frontier: List[AbstractState] = []
+            for state in frontier:
+                successors = self._abstract_successors(predicates, state, budget)
+                if successors is None:
+                    return None
+                for successor in successors:
+                    if successor not in visited:
+                        visited.add(successor)
+                        next_frontier.append(successor)
+                        if len(visited) > self.max_abstract_states:
+                            return ("limit", 0)
+            frontier = next_frontier
+            depth += 1
+        return ("safe", 0)
+
+    def _admits_violation(
+        self, predicates: List[Expr], state: AbstractState, property_expr: Expr, budget: Budget
+    ) -> Optional[bool]:
+        solver = BVSolver()
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(self._state_constraint(predicates, state))
+        solver.assert_expr(bool_not(property_expr))
+        outcome = solver.check()
+        if outcome == BVResult.UNKNOWN:
+            return None
+        return outcome == BVResult.SAT
+
+    def _abstract_successors(
+        self, predicates: List[Expr], state: AbstractState, budget: Budget
+    ) -> Optional[List[AbstractState]]:
+        """Enumerate the abstract successors of one abstract state."""
+        encoder = FrameEncoder(self.system, representation=self.representation)
+        solver = encoder.solver
+        solver.set_deadline(budget.deadline)
+        solver.assert_expr(
+            encoder.rename_to_frame(self._state_constraint(predicates, state), 0)
+        )
+        encoder.assert_trans(0)
+        successor_literals = [
+            solver.literal_for(encoder.rename_to_frame(predicate, 1)) for predicate in predicates
+        ]
+        successors: List[AbstractState] = []
+        while True:
+            if budget.expired():
+                return None
+            outcome = solver.check()
+            if outcome == BVResult.UNKNOWN:
+                return None
+            if outcome == BVResult.UNSAT:
+                return successors
+            assignment = tuple(
+                solver.solver.model_value(literal) for literal in successor_literals
+            )
+            successors.append(assignment)
+            # block this abstract successor and enumerate the next one
+            blocking = [
+                -literal if value else literal
+                for literal, value in zip(successor_literals, assignment)
+            ]
+            if not blocking:
+                return successors
+            solver.solver.add_clause(blocking)
+
+    # ------------------------------------------------------------------
+    # concretization and refinement
+    # ------------------------------------------------------------------
+    def _replay(
+        self, property_name: str, depth: int, budget: Budget
+    ) -> Tuple[Optional[bool], Optional[Counterexample]]:
+        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder.solver.set_deadline(budget.deadline)
+        encoder.assert_init(0)
+        bad_literals = []
+        for frame in range(depth):
+            bad_literals.append(-encoder.property_literal(property_name, frame))
+            encoder.assert_trans(frame)
+        bad_literals.append(-encoder.property_literal(property_name, depth))
+        encoder.solver.solver.add_clause(bad_literals)
+        outcome = encoder.solver.check()
+        if outcome == BVResult.UNKNOWN:
+            return None, None
+        if outcome == BVResult.SAT:
+            return True, encoder.extract_counterexample(property_name, depth)
+        return False, None
+
+    def _refine(
+        self, property_name: str, depth: int, budget: Budget
+    ) -> Optional[List[Expr]]:
+        """Derive new predicates from the interpolants of the spurious path."""
+        from repro.engines.impact import ImpactEngine
+
+        helper = ImpactEngine(self.system, representation=self.representation)
+        new_predicates: List[Expr] = []
+        for cut in range(1, depth + 1):
+            interpolant = helper._cut_interpolant(property_name, depth, cut, budget)
+            if interpolant is None:
+                if budget.expired():
+                    return None
+                continue
+            for atom in self._atoms_of(interpolant):
+                if atom not in new_predicates:
+                    new_predicates.append(atom)
+        return new_predicates
+
+    def _atoms_of(self, expr: Expr) -> List[Expr]:
+        """Extract 1-bit atoms (comparisons / bit tests) from an interpolant."""
+        atoms: List[Expr] = []
+
+        def walk(node: Expr) -> None:
+            if isinstance(node, Op):
+                if node.op in ("eq", "ne", "extract", "ult", "ule", "ugt", "uge") and node.width == 1:
+                    if node not in atoms:
+                        atoms.append(node)
+                    return
+                for arg in node.args:
+                    walk(arg)
+
+        walk(expr)
+        return atoms
+
+    def _timeout(
+        self, property_name: str, budget: Budget, refinements: int, predicates: int
+    ) -> VerificationResult:
+        return VerificationResult(
+            Status.TIMEOUT,
+            self.name,
+            property_name,
+            runtime=budget.elapsed(),
+            detail={"refinements": refinements, "predicates": predicates},
+        )

@@ -1,0 +1,41 @@
+"""Registry of engines by name, used by the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.engines.absint import AbstractInterpretationEngine
+from repro.engines.bmc import BMCEngine
+from repro.engines.impact import ImpactEngine
+from repro.engines.interpolation import InterpolationEngine
+from repro.engines.kiki import KikiEngine
+from repro.engines.kinduction import KInductionEngine
+from repro.engines.pdr import PDREngine
+from repro.engines.predabs import PredicateAbstractionEngine
+from repro.netlist import TransitionSystem
+
+
+#: engine name -> constructor accepting (system, **options)
+ENGINE_REGISTRY: Dict[str, Callable] = {
+    "bmc": BMCEngine,
+    "k-induction": KInductionEngine,
+    "kind": KInductionEngine,
+    "interpolation": InterpolationEngine,
+    "itp": InterpolationEngine,
+    "pdr": PDREngine,
+    "ic3": PDREngine,
+    "impact": ImpactEngine,
+    "predabs": PredicateAbstractionEngine,
+    "absint": AbstractInterpretationEngine,
+    "kiki": KikiEngine,
+}
+
+
+def make_engine(name: str, system: TransitionSystem, **options):
+    """Instantiate an engine by (case-insensitive) name."""
+    key = name.lower()
+    if key not in ENGINE_REGISTRY:
+        raise KeyError(
+            f"unknown engine {name!r}; available: {', '.join(sorted(set(ENGINE_REGISTRY)))}"
+        )
+    return ENGINE_REGISTRY[key](system, **options)

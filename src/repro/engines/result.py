@@ -1,0 +1,104 @@
+"""Common result and counterexample types shared by all engines."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Status:
+    """Verification outcome constants.
+
+    ``SAFE``/``UNSAFE`` are definitive answers, the others mirror the failure
+    categories plotted on the right-hand side of Figures 3–5 of the paper
+    (timeout, memory-out, inconclusive, error).  ``WRONG`` is never returned
+    by an engine itself; the harness assigns it when an answer contradicts the
+    known status of a benchmark, reproducing the paper's "wrong result"
+    category.
+    """
+
+    SAFE = "safe"
+    UNSAFE = "unsafe"
+    UNKNOWN = "unknown"
+    TIMEOUT = "timeout"
+    MEMOUT = "memout"
+    ERROR = "error"
+    WRONG = "wrong"
+
+    DEFINITIVE = (SAFE, UNSAFE)
+
+
+@dataclass
+class Counterexample:
+    """A finite input/state trace demonstrating a property violation.
+
+    ``steps[i]`` holds the signal valuation of cycle ``i``; the violated
+    property evaluates to false in the last step.
+    """
+
+    property_name: str
+    steps: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def value(self, cycle: int, name: str) -> int:
+        return self.steps[cycle][name]
+
+
+@dataclass
+class VerificationResult:
+    """The outcome of running one engine on one verification task."""
+
+    status: str
+    engine: str
+    property_name: str = ""
+    runtime: float = 0.0
+    counterexample: Optional[Counterexample] = None
+    #: engine-specific detail: k for k-induction, frame count for PDR, ...
+    detail: Dict[str, object] = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def is_definitive(self) -> bool:
+        return self.status in Status.DEFINITIVE
+
+    def __repr__(self) -> str:
+        extra = f", cex_len={self.counterexample.length}" if self.counterexample else ""
+        return (
+            f"VerificationResult({self.status}, engine={self.engine!r}, "
+            f"property={self.property_name!r}, {self.runtime:.3f}s{extra})"
+        )
+
+
+class Budget:
+    """Wall-clock budget shared by an engine run.
+
+    Engines poll :meth:`expired` in their outer loops and pass the deadline to
+    the SAT layer, which aborts long-running solver calls.  This reproduces
+    the per-benchmark resource limit of the paper's experiments (5 h there,
+    seconds-scale here).
+    """
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self.start = time.monotonic()
+
+    @property
+    def deadline(self) -> Optional[float]:
+        if self.seconds is None:
+            return None
+        return self.start + self.seconds
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def expired(self) -> bool:
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def remaining(self) -> Optional[float]:
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed())

@@ -1,0 +1,23 @@
+"""Word-level transition system ("word-level netlist").
+
+The transition system is the central intermediate representation of the tool
+flow: the Verilog synthesizer produces it, the bit-level flow bit-blasts it to
+an AIG, the v2c backend prints it as a software-netlist in ANSI-C, and the
+verification engines analyse it directly.
+"""
+
+from repro.netlist.transition import (
+    SafetyProperty,
+    TransitionSystem,
+    TransitionSystemError,
+)
+from repro.netlist.simulate import Simulator, Trace, TraceStep
+
+__all__ = [
+    "SafetyProperty",
+    "TransitionSystem",
+    "TransitionSystemError",
+    "Simulator",
+    "Trace",
+    "TraceStep",
+]

@@ -1,0 +1,188 @@
+"""Cycle-accurate simulation of a transition system.
+
+The simulator is the executable reference semantics of the word-level
+netlist.  It is used to
+
+* replay counterexample traces produced by the verification engines,
+* cross-validate the generated software-netlist (the paper's Section III.C
+  equivalence argument: bugs must manifest in the same clock cycle in both
+  models), and
+* drive the example applications.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exprs import evaluate
+from repro.exprs.nodes import to_unsigned
+from repro.netlist.transition import TransitionSystem, TransitionSystemError
+
+
+@dataclass
+class TraceStep:
+    """Signal valuation of one clock cycle."""
+
+    cycle: int
+    inputs: Dict[str, int] = field(default_factory=dict)
+    state: Dict[str, int] = field(default_factory=dict)
+    wires: Dict[str, int] = field(default_factory=dict)
+
+    def value(self, name: str) -> int:
+        """Return the value of any signal recorded in this step."""
+        for table in (self.state, self.inputs, self.wires):
+            if name in table:
+                return table[name]
+        raise KeyError(name)
+
+
+@dataclass
+class Trace:
+    """A sequence of trace steps, optionally ending in a property violation."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+    violated_property: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def last(self) -> TraceStep:
+        return self.steps[-1]
+
+    def values_of(self, name: str) -> List[int]:
+        """Return the per-cycle values of one signal."""
+        return [step.value(name) for step in self.steps]
+
+
+class Simulator:
+    """Executes a transition system cycle by cycle."""
+
+    def __init__(self, system: TransitionSystem) -> None:
+        system.validate()
+        self.system = system
+        self._state: Dict[str, int] = {}
+        self.cycle = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # state control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all registers to their initial values."""
+        self._state = {
+            name: evaluate(init_expr, {}) for name, init_expr in self.system.init.items()
+        }
+        self.cycle = 0
+
+    @property
+    def state(self) -> Dict[str, int]:
+        """Current register values."""
+        return dict(self._state)
+
+    def set_state(self, values: Mapping[str, int]) -> None:
+        """Force the current register values (used when replaying traces)."""
+        for name, value in values.items():
+            if name not in self.system.state_vars:
+                raise TransitionSystemError(f"unknown register {name!r}")
+            self._state[name] = to_unsigned(value, self.system.state_vars[name])
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _environment(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        env: Dict[str, int] = dict(self._state)
+        for name, width in self.system.inputs.items():
+            value = inputs.get(name, 0)
+            env[name] = to_unsigned(value, width)
+        # resolve wires (definitions may refer to other wires; iterate to fixpoint)
+        pending = dict(self.system.wires)
+        for _ in range(len(pending) + 1):
+            if not pending:
+                break
+            for name, expr in list(pending.items()):
+                try:
+                    env[name] = evaluate(expr, env)
+                    del pending[name]
+                except Exception:
+                    continue
+        if pending:
+            raise TransitionSystemError(
+                f"could not resolve wires {sorted(pending)} during simulation"
+            )
+        return env
+
+    def evaluate_signal(self, name: str, inputs: Optional[Mapping[str, int]] = None) -> int:
+        """Evaluate any signal in the current cycle for the given inputs."""
+        env = self._environment(inputs or {})
+        if name in env:
+            return env[name]
+        raise KeyError(name)
+
+    def check_properties(self, inputs: Optional[Mapping[str, int]] = None) -> Optional[str]:
+        """Return the name of the first violated property in the current cycle, or None."""
+        env = self._environment(inputs or {})
+        for prop in self.system.properties:
+            if evaluate(prop.expr, env) == 0:
+                return prop.name
+        return None
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, inputs: Optional[Mapping[str, int]] = None) -> TraceStep:
+        """Advance one clock cycle with the given input values (default 0)."""
+        inputs = dict(inputs or {})
+        env = self._environment(inputs)
+        step = TraceStep(
+            cycle=self.cycle,
+            inputs={name: env[name] for name in self.system.inputs},
+            state=dict(self._state),
+            wires={name: env[name] for name in self.system.wires},
+        )
+        next_state = {
+            name: evaluate(expr, env) for name, expr in self.system.next.items()
+        }
+        self._state = next_state
+        self.cycle += 1
+        return step
+
+    def run(
+        self,
+        input_sequence: Sequence[Mapping[str, int]],
+        stop_on_violation: bool = True,
+    ) -> Trace:
+        """Run the simulator for one step per element of ``input_sequence``."""
+        trace = Trace()
+        for inputs in input_sequence:
+            violated = self.check_properties(inputs)
+            trace.steps.append(self.step(inputs))
+            if violated is not None:
+                trace.violated_property = violated
+                if stop_on_violation:
+                    return trace
+        return trace
+
+    def run_random(
+        self,
+        cycles: int,
+        seed: int = 0,
+        stop_on_violation: bool = True,
+    ) -> Trace:
+        """Run with uniformly random primary inputs for ``cycles`` cycles."""
+        rng = random.Random(seed)
+        sequence = []
+        for _ in range(cycles):
+            sequence.append(
+                {
+                    name: rng.getrandbits(width)
+                    for name, width in self.system.inputs.items()
+                }
+            )
+        return self.run(sequence, stop_on_violation=stop_on_violation)
+
+
+def replay(system: TransitionSystem, input_sequence: Sequence[Mapping[str, int]]) -> Trace:
+    """Convenience helper: simulate ``system`` from reset on a fixed input sequence."""
+    return Simulator(system).run(input_sequence, stop_on_violation=False)

@@ -1,0 +1,48 @@
+"""Propositional SAT substrate.
+
+All verification engines in the reproduction bottom out in propositional
+satisfiability, just as the tools compared in the paper do (ABC, EBMC, CBMC,
+2LS all use SAT back-ends).  The package provides:
+
+* :mod:`repro.sat.cnf` — clause databases and literal helpers,
+* :mod:`repro.sat.solver` — a CDCL solver (two-watched literals, VSIDS-style
+  activities, first-UIP learning, Luby restarts, incremental assumptions)
+  with optional resolution-proof logging,
+* :mod:`repro.sat.tseitin` — Tseitin encoding of propositional circuits,
+* :mod:`repro.sat.interpolate` — Craig interpolation from logged resolution
+  proofs using McMillan's labelling rules.
+"""
+
+from repro.sat.cnf import CNF, neg, var_of, sign_of
+from repro.sat.solver import Solver, SolverResult
+from repro.sat.tseitin import TseitinEncoder
+from repro.sat.interpolate import (
+    Interpolator,
+    ItpNode,
+    itp_and,
+    itp_or,
+    itp_lit,
+    itp_const,
+    itp_evaluate,
+    itp_variables,
+    itp_size,
+)
+
+__all__ = [
+    "CNF",
+    "neg",
+    "var_of",
+    "sign_of",
+    "Solver",
+    "SolverResult",
+    "TseitinEncoder",
+    "Interpolator",
+    "ItpNode",
+    "itp_and",
+    "itp_or",
+    "itp_lit",
+    "itp_const",
+    "itp_evaluate",
+    "itp_variables",
+    "itp_size",
+]

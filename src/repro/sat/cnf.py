@@ -1,0 +1,123 @@
+"""Clause database and literal conventions.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1, 2, 3, ...``; literal ``v`` is the positive phase of variable ``v`` and
+``-v`` its negation.  A clause is a list/tuple of literals interpreted as a
+disjunction.  The empty clause is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def neg(lit: int) -> int:
+    """Return the negation of a literal."""
+    return -lit
+
+
+def var_of(lit: int) -> int:
+    """Return the variable of a literal."""
+    return abs(lit)
+
+
+def sign_of(lit: int) -> bool:
+    """Return True for a positive literal, False for a negative one."""
+    return lit > 0
+
+
+class CNF:
+    """A growable clause database.
+
+    The class is used both as the target of the Tseitin encoder and as a
+    portable container that can be handed to the solver or written out in
+    DIMACS format.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars: int = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables and return them in order."""
+        return [self.new_var() for _ in range(count)]
+
+    def ensure_var(self, var: int) -> None:
+        """Grow the variable count so that ``var`` is a valid variable."""
+        if var > self.num_vars:
+            self.num_vars = var
+
+    def add_clause(self, literals: Iterable[int]) -> Tuple[int, ...]:
+        """Add a clause (a disjunction of literals) and return it as a tuple."""
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed in a clause")
+            self.ensure_var(var_of(lit))
+        self.clauses.append(clause)
+        return clause
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend_from(self, other: "CNF") -> None:
+        """Append all clauses of ``other`` (variable numbering must be shared)."""
+        self.num_vars = max(self.num_vars, other.num_vars)
+        self.clauses.extend(other.clauses)
+
+    def copy(self) -> "CNF":
+        """Return a shallow copy (clauses are immutable tuples)."""
+        clone = CNF()
+        clone.num_vars = self.num_vars
+        clone.clauses = list(self.clauses)
+        return clone
+
+    def to_dimacs(self) -> str:
+        """Render the clause database in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF string."""
+        cnf = cls()
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) >= 3:
+                    cnf.num_vars = max(cnf.num_vars, int(parts[2]))
+                continue
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            cnf.add_clause(literals)
+        return cnf
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def clause_is_tautology(clause: Sequence[int]) -> bool:
+    """Return True if the clause contains a literal and its negation."""
+    literals = set(clause)
+    return any(-lit in literals for lit in literals)
+
+
+def normalize_clause(clause: Sequence[int]) -> Tuple[int, ...]:
+    """Remove duplicate literals and sort the clause for canonical comparison."""
+    return tuple(sorted(set(clause), key=lambda lit: (var_of(lit), lit < 0)))

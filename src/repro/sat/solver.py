@@ -1,0 +1,592 @@
+"""CDCL SAT solver with optional resolution-proof logging.
+
+The solver implements the standard conflict-driven clause-learning loop:
+two-watched-literal propagation, first-UIP conflict analysis, VSIDS-style
+variable activities with phase saving, and Luby restarts.  It supports
+incremental solving under assumptions (the MiniSat-style interface used by
+the PDR/IC3 and k-induction engines) and, when ``proof=True``, records the
+resolution derivation of every learned clause so that Craig interpolants can
+be extracted from refutations (used by the interpolation-based engines).
+
+The implementation favours clarity over raw speed; the benchmark circuits in
+this reproduction are sized so that a pure-Python solver handles them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sat.cnf import CNF, var_of
+
+
+class SolverResult:
+    """Tri-state result of a :meth:`Solver.solve` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work performed by the solver."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    max_decision_level: int = 0
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (1-based) of the Luby restart sequence."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= index:
+        k += 1
+    while index != (1 << k) - 1:
+        index = index - (1 << (k - 1)) + 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= index:
+            k += 1
+    return 1 << (k - 1)
+
+
+#: Proof chain: (antecedent clause ids, pivot variables).  Resolving the
+#: antecedents left to right on the given pivots yields the derived clause.
+ProofChain = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+class Solver:
+    """A CDCL SAT solver.
+
+    Parameters
+    ----------
+    proof:
+        When True, the solver records for every learned clause the sequence of
+        antecedent clauses and resolution pivots used to derive it, and on a
+        final refutation stores the chain deriving the empty clause.  This is
+        required by :class:`repro.sat.interpolate.Interpolator`.
+    """
+
+    def __init__(self, proof: bool = False) -> None:
+        self.proof_logging = proof
+        self.stats = SolverStats()
+
+        # clause storage: clause id -> list of literals (watched literals first)
+        self._clauses: List[List[int]] = []
+        self._clause_learned: List[bool] = []
+        # proof: clause id -> (antecedent clause ids, pivot vars) or None
+        self.clause_proof: List[Optional[ProofChain]] = []
+        # final refutation proof (set when solve() returns UNSAT at level 0)
+        self.final_proof: Optional[ProofChain] = None
+
+        self._num_vars = 0
+        # per-variable state, index 0 unused
+        self._assign: List[Optional[bool]] = [None]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._queue_head = 0
+        self._order_heap: List[Tuple[float, int]] = []
+
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+
+        self._ok = True  # False once a top-level refutation has been found
+        self.failed_assumptions: Set[int] = set()
+        self._model: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return it."""
+        self._num_vars += 1
+        self._assign.append(None)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        return self._num_vars
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Make sure variables ``1..num_vars`` exist."""
+        while self._num_vars < num_vars:
+            self.new_var()
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def ok(self) -> bool:
+        """False if the clause database is already unsatisfiable at level 0."""
+        return self._ok
+
+    def add_cnf(self, cnf: CNF) -> List[int]:
+        """Add all clauses of a :class:`CNF` and return their clause ids."""
+        self.ensure_vars(cnf.num_vars)
+        return [self.add_clause(clause) for clause in cnf.clauses]
+
+    def add_clause(self, literals: Iterable[int]) -> int:
+        """Add a clause; returns its clause id (usable for proof bookkeeping).
+
+        Clauses may be added at any time between ``solve`` calls; the solver
+        backtracks to level 0 automatically.
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        clause = list(dict.fromkeys(literals))  # dedupe, keep order
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed in a clause")
+            self.ensure_vars(var_of(lit))
+
+        cid = len(self._clauses)
+        self._clauses.append(clause)
+        self._clause_learned.append(False)
+        self.clause_proof.append(None)
+
+        if any(-lit in clause for lit in clause):
+            # tautology: satisfied by every assignment, never needs watching
+            return cid
+
+        if not clause:
+            self._ok = False
+            if self.proof_logging:
+                self.final_proof = ((cid,), ())
+            return cid
+
+        if not self._ok:
+            return cid
+
+        # Move non-false literals to the watch positions so that the
+        # watched-literal invariant holds even for clauses containing
+        # literals already falsified at level 0.
+        non_false = [i for i, lit in enumerate(clause) if self._value(lit) is not False]
+        if len(non_false) == 0:
+            self._ok = False
+            if self.proof_logging:
+                self.final_proof = self._derive_empty_from_conflict(cid)
+            return cid
+        if len(non_false) == 1 or len(clause) == 1:
+            unit_lit = clause[non_false[0]]
+            if len(clause) >= 2:
+                clause[0], clause[non_false[0]] = clause[non_false[0]], clause[0]
+                self._watch_clause(cid)
+            if self._value(unit_lit) is None:
+                self._enqueue(unit_lit, cid)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._ok = False
+                    if self.proof_logging:
+                        self.final_proof = self._derive_empty_from_conflict(conflict)
+            return cid
+
+        first, second = non_false[0], non_false[1]
+        clause[0], clause[first] = clause[first], clause[0]
+        if second == 0:
+            second = first
+        clause[1], clause[second] = clause[second], clause[1]
+        self._watch_clause(cid)
+        return cid
+
+    def clause_literals(self, cid: int) -> Tuple[int, ...]:
+        """Return the literals of clause ``cid``."""
+        return tuple(self._clauses[cid])
+
+    def is_learned(self, cid: int) -> bool:
+        """Return True if clause ``cid`` was learned by conflict analysis."""
+        return self._clause_learned[cid]
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        assigned = self._assign[var_of(lit)]
+        if assigned is None:
+            return None
+        return assigned if lit > 0 else not assigned
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> None:
+        var = var_of(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = var_of(lit)
+            self._phase[var] = bool(self._assign[var])  # phase saving
+            self._assign[var] = None
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # watched literal propagation
+    # ------------------------------------------------------------------
+    def _watch_clause(self, cid: int) -> None:
+        clause = self._clauses[cid]
+        self._watches.setdefault(-clause[0], []).append(cid)
+        if len(clause) >= 2:
+            self._watches.setdefault(-clause[1], []).append(cid)
+
+    def _propagate(self) -> Optional[int]:
+        """Propagate all enqueued literals; return a conflicting clause id or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats.propagations += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            new_watchers: List[int] = []
+            conflict: Optional[int] = None
+            i = 0
+            n = len(watchers)
+            while i < n:
+                cid = watchers[i]
+                i += 1
+                clause = self._clauses[cid]
+                false_lit = -lit
+                if len(clause) == 1:
+                    new_watchers.append(cid)
+                    if self._value(clause[0]) is False:
+                        new_watchers.extend(watchers[i:])
+                        conflict = cid
+                        break
+                    continue
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                # now clause[1] == false_lit
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watchers.append(cid)
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(-clause[1], []).append(cid)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                new_watchers.append(cid)
+                if self._value(first) is False:
+                    new_watchers.extend(watchers[i:])
+                    conflict = cid
+                    break
+                self._enqueue(first, cid)
+            self._watches[lit] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._assign[var] is None:
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _analyze(self, conflict: int) -> Tuple[List[int], int, ProofChain]:
+        """First-UIP conflict analysis.
+
+        Returns ``(learned_clause, backtrack_level, proof_chain)`` where the
+        learned clause has the asserting literal first and a literal from the
+        backtrack level second (preserving the watched-literal invariant).
+        Literals assigned at level 0 are kept in the learned clause so that
+        the recorded resolution chain derives exactly the returned clause.
+        """
+        learned: List[int] = []
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        resolve_lit: Optional[int] = None
+        clause_id = conflict
+        current_level = self._decision_level()
+        index = len(self._trail) - 1
+
+        antecedents: List[int] = [conflict]
+        pivots: List[int] = []
+
+        while True:
+            for lit in self._clauses[clause_id]:
+                var = var_of(lit)
+                if seen[var]:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # next current-level literal to resolve, scanning the trail backwards
+            while not seen[var_of(self._trail[index])]:
+                index -= 1
+            resolve_lit = self._trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                learned = [-resolve_lit] + learned
+                break
+            reason_id = self._reason[var_of(resolve_lit)]
+            assert reason_id is not None, "non-UIP current-level literal must have a reason"
+            clause_id = reason_id
+            antecedents.append(reason_id)
+            pivots.append(var_of(resolve_lit))
+
+        if len(learned) == 1:
+            backtrack = 0
+        else:
+            # place a literal of the highest remaining level at position 1
+            best = 1
+            for i in range(2, len(learned)):
+                if self._level[var_of(learned[i])] > self._level[var_of(learned[best])]:
+                    best = i
+            learned[1], learned[best] = learned[best], learned[1]
+            backtrack = self._level[var_of(learned[1])]
+        return learned, backtrack, (tuple(antecedents), tuple(pivots))
+
+    def _derive_empty_from_conflict(self, conflict: int) -> ProofChain:
+        """Build the resolution chain refuting a level-0 conflict.
+
+        Every literal of the conflicting clause is false at level 0 and has a
+        reason clause; resolving them away in reverse assignment order yields
+        the empty clause.
+        """
+        position = {var_of(lit): i for i, lit in enumerate(self._trail)}
+        current: Set[int] = set(self._clauses[conflict])
+        antecedents: List[int] = [conflict]
+        pivots: List[int] = []
+        guard = 0
+        limit = 10 * (len(self._trail) + len(self._clauses) + 10)
+        while current:
+            guard += 1
+            if guard > limit:  # pragma: no cover - defensive
+                break
+            lit = max(current, key=lambda l: position.get(var_of(l), -1))
+            var = var_of(lit)
+            reason_id = self._reason[var]
+            if reason_id is None:  # pragma: no cover - defensive
+                break
+            current.discard(lit)
+            for other in self._clauses[reason_id]:
+                if var_of(other) != var:
+                    current.add(other)
+            antecedents.append(reason_id)
+            pivots.append(var)
+        return tuple(antecedents), tuple(pivots)
+
+    def _record_learned(self, clause: List[int], proof_chain: ProofChain) -> int:
+        cid = len(self._clauses)
+        self._clauses.append(list(clause))
+        self._clause_learned.append(True)
+        self.clause_proof.append(proof_chain if self.proof_logging else None)
+        self.stats.learned_clauses += 1
+        if len(clause) >= 2:
+            self._watch_clause(cid)
+        return cid
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> Optional[int]:
+        while self._order_heap:
+            _, var = heapq.heappop(self._order_heap)
+            if self._assign[var] is None:
+                return var
+        # heap exhausted: fall back to a scan (covers vars never pushed again)
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] is None:
+                return var
+        return None
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> str:
+        """Solve the current clause database under the given assumptions.
+
+        Returns one of :data:`SolverResult.SAT`, :data:`SolverResult.UNSAT`
+        or :data:`SolverResult.UNKNOWN` (when ``conflict_limit`` or the
+        wall-clock ``deadline`` from ``time.monotonic()`` is exceeded).
+        On SAT, :meth:`model_value` reports the satisfying assignment.  On
+        UNSAT under assumptions, :attr:`failed_assumptions` holds a subset of
+        the assumptions sufficient for unsatisfiability.
+        """
+        self.failed_assumptions = set()
+        self._model = {}
+        if not self._ok:
+            return SolverResult.UNSAT
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            if self.proof_logging:
+                self.final_proof = self._derive_empty_from_conflict(conflict)
+            return SolverResult.UNSAT
+
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            self.ensure_vars(var_of(lit))
+        conflicts_since_restart = 0
+        restart_index = 1
+        restart_limit = 64 * luby(restart_index)
+        total_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                total_conflicts += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    if self.proof_logging:
+                        self.final_proof = self._derive_empty_from_conflict(conflict)
+                    return SolverResult.UNSAT
+                if conflict_limit is not None and total_conflicts > conflict_limit:
+                    self._cancel_until(0)
+                    return SolverResult.UNKNOWN
+                if deadline is not None and total_conflicts % 64 == 0 and time.monotonic() > deadline:
+                    self._cancel_until(0)
+                    return SolverResult.UNKNOWN
+                learned, backtrack, chain = self._analyze(conflict)
+                self._decay_activities()
+                self._cancel_until(backtrack)
+                cid = self._record_learned(learned, chain)
+                if self._value(learned[0]) is None:
+                    self._enqueue(learned[0], cid)
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_index += 1
+                restart_limit = 64 * luby(restart_index)
+                self._cancel_until(min(len(assumptions), self._decision_level()))
+                continue
+
+            # apply assumptions as pseudo-decisions
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                value = self._value(lit)
+                if value is True:
+                    self._new_decision_level()
+                    continue
+                if value is False:
+                    self._analyze_final_lit(lit, assumptions)
+                    self._cancel_until(0)
+                    return SolverResult.UNSAT
+                self._new_decision_level()
+                self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                self._model = {
+                    v: bool(self._assign[v]) for v in range(1, self._num_vars + 1)
+                }
+                self._check_model()
+                self._cancel_until(0)
+                return SolverResult.SAT
+            self.stats.decisions += 1
+            self.stats.max_decision_level = max(
+                self.stats.max_decision_level, self._decision_level() + 1
+            )
+            self._new_decision_level()
+            phase = self._phase[var]
+            self._enqueue(var if phase else -var, None)
+
+    def _check_model(self) -> None:
+        """Sanity-check the model against every clause (fails loudly on bugs)."""
+        for clause in self._clauses:
+            if not clause:
+                continue
+            if not any(self._model_lit(lit) for lit in clause):
+                raise AssertionError("internal error: model does not satisfy clause")
+
+    def _model_lit(self, lit: int) -> bool:
+        value = self._model.get(var_of(lit), False)
+        return value if lit > 0 else not value
+
+    def _analyze_final_lit(self, failed_lit: int, assumptions: Sequence[int]) -> None:
+        """Compute failed assumptions when an assumption literal is already false."""
+        assumption_vars = {var_of(a) for a in assumptions}
+        failed: Set[int] = {failed_lit}
+        seen: Set[int] = set()
+        queue: List[int] = [-failed_lit]
+        while queue:
+            lit = queue.pop()
+            var = var_of(lit)
+            if var in seen:
+                continue
+            seen.add(var)
+            if self._level[var] == 0:
+                continue
+            reason_id = self._reason[var]
+            if reason_id is None:
+                if var in assumption_vars:
+                    failed.add(self._trail_literal(var))
+            else:
+                queue.extend(
+                    other for other in self._clauses[reason_id] if var_of(other) != var
+                )
+        self.failed_assumptions = failed
+
+    def _trail_literal(self, var: int) -> int:
+        return var if self._assign[var] else -var
+
+    # ------------------------------------------------------------------
+    # model access
+    # ------------------------------------------------------------------
+    def model_value(self, lit: int) -> bool:
+        """Return the value of ``lit`` in the last satisfying assignment."""
+        if not self._model:
+            raise RuntimeError("no model available (last result was not SAT)")
+        value = self._model.get(var_of(lit), False)
+        return value if lit > 0 else not value
+
+    def model(self) -> Dict[int, bool]:
+        """Return the last satisfying assignment as ``{var: bool}``."""
+        if not self._model:
+            raise RuntimeError("no model available (last result was not SAT)")
+        return dict(self._model)

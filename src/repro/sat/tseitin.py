@@ -1,0 +1,151 @@
+"""Tseitin encoding of propositional structure into CNF clauses.
+
+The encoder produces fresh variables for gate outputs and emits the standard
+defining clauses.  It is used by the bit-blaster (:mod:`repro.smt`) and by the
+engines when they need to assert arbitrary propositional formulas (for
+instance, the negation of a candidate inductive invariant).
+
+Literals use the DIMACS convention of :mod:`repro.sat.cnf`.  The special
+constant literals are handled through a dedicated always-true variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class TseitinEncoder:
+    """Builds CNF for AND/OR/XOR/ITE/equality gates over literals.
+
+    The encoder owns variable allocation: either wrap an existing
+    :class:`repro.sat.cnf.CNF` or a :class:`repro.sat.solver.Solver` — any
+    object with ``new_var()`` and ``add_clause(iterable)``.
+    """
+
+    def __init__(self, sink) -> None:
+        self._sink = sink
+        self._true_lit: Optional[int] = None
+        # structural hashing of gates: (op, args) -> output literal
+        self._cache: Dict[Tuple, int] = {}
+
+    # -- variable / constant management --------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable in the underlying sink."""
+        return self._sink.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause directly to the underlying sink."""
+        self._sink.add_clause(list(literals))
+
+    @property
+    def true_lit(self) -> int:
+        """A literal constrained to be true (allocated lazily)."""
+        if self._true_lit is None:
+            var = self.new_var()
+            self._sink.add_clause([var])
+            self._true_lit = var
+        return self._true_lit
+
+    @property
+    def false_lit(self) -> int:
+        """A literal constrained to be false."""
+        return -self.true_lit
+
+    def const_lit(self, value: bool) -> int:
+        """Return the constant literal for ``value``."""
+        return self.true_lit if value else self.false_lit
+
+    # -- gates -----------------------------------------------------------
+    def and_gate(self, literals: Sequence[int]) -> int:
+        """Return a literal equivalent to the conjunction of ``literals``."""
+        literals = [lit for lit in literals]
+        if not literals:
+            return self.true_lit
+        if len(literals) == 1:
+            return literals[0]
+        key = ("and", tuple(sorted(literals)))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.new_var()
+        for lit in literals:
+            self._sink.add_clause([-out, lit])
+        self._sink.add_clause([out] + [-lit for lit in literals])
+        self._cache[key] = out
+        return out
+
+    def or_gate(self, literals: Sequence[int]) -> int:
+        """Return a literal equivalent to the disjunction of ``literals``."""
+        return -self.and_gate([-lit for lit in literals])
+
+    def xor_gate(self, a: int, b: int) -> int:
+        """Return a literal equivalent to ``a xor b``."""
+        key = ("xor", tuple(sorted((a, b))))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.new_var()
+        self._sink.add_clause([-out, a, b])
+        self._sink.add_clause([-out, -a, -b])
+        self._sink.add_clause([out, -a, b])
+        self._sink.add_clause([out, a, -b])
+        self._cache[key] = out
+        return out
+
+    def xnor_gate(self, a: int, b: int) -> int:
+        """Return a literal equivalent to ``a == b``."""
+        return -self.xor_gate(a, b)
+
+    def ite_gate(self, cond: int, then_lit: int, else_lit: int) -> int:
+        """Return a literal equivalent to ``cond ? then_lit : else_lit``."""
+        key = ("ite", cond, then_lit, else_lit)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.new_var()
+        self._sink.add_clause([-cond, -then_lit, out])
+        self._sink.add_clause([-cond, then_lit, -out])
+        self._sink.add_clause([cond, -else_lit, out])
+        self._sink.add_clause([cond, else_lit, -out])
+        self._cache[key] = out
+        return out
+
+    def implies_gate(self, a: int, b: int) -> int:
+        """Return a literal equivalent to ``a -> b``."""
+        return self.or_gate([-a, b])
+
+    # -- adders used by the word-level bit-blaster -----------------------
+    def full_adder(self, a: int, b: int, carry_in: int) -> Tuple[int, int]:
+        """Return ``(sum, carry_out)`` literals of a full adder."""
+        axb = self.xor_gate(a, b)
+        total = self.xor_gate(axb, carry_in)
+        carry = self.or_gate(
+            [self.and_gate([a, b]), self.and_gate([axb, carry_in])]
+        )
+        return total, carry
+
+    # -- assertions -------------------------------------------------------
+    def assert_lit(self, lit: int) -> None:
+        """Assert that ``lit`` is true (adds a unit clause)."""
+        self._sink.add_clause([lit])
+
+    def assert_equal(self, a: int, b: int) -> None:
+        """Assert that two literals are equivalent."""
+        self._sink.add_clause([-a, b])
+        self._sink.add_clause([a, -b])
+
+
+def equal_vectors(encoder: TseitinEncoder, a: Sequence[int], b: Sequence[int]) -> int:
+    """Return a literal true iff the two literal vectors are bit-wise equal."""
+    if len(a) != len(b):
+        raise ValueError("vector lengths differ")
+    bits = [encoder.xnor_gate(x, y) for x, y in zip(a, b)]
+    return encoder.and_gate(bits)
+
+
+def at_most_one(encoder: TseitinEncoder, literals: Sequence[int]) -> None:
+    """Add pairwise at-most-one constraints over ``literals``."""
+    lits = list(literals)
+    for i in range(len(lits)):
+        for j in range(i + 1, len(lits)):
+            encoder.add_clause([-lits[i], -lits[j]])

@@ -1,0 +1,13 @@
+"""Word-level (bit-vector) decision procedure.
+
+The layer gives the verification engines an SMT-like interface over the
+expression IR of :mod:`repro.exprs`: expressions are bit-blasted onto the
+CDCL solver of :mod:`repro.sat` through a Tseitin encoder.  This mirrors the
+flattening-based back-ends of EBMC and CBMC that the paper uses for the
+word-level and software-level flows.
+"""
+
+from repro.smt.bitblaster import BitBlaster
+from repro.smt.solver import BVSolver, BVResult
+
+__all__ = ["BitBlaster", "BVSolver", "BVResult"]

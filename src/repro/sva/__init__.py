@@ -1,0 +1,17 @@
+"""SVA-subset safety property support.
+
+The paper specifies safety properties as SystemVerilog assertions (SVA) of the
+form ``assert property (@(posedge clk) <boolean expression>)``.  Properties can
+either be written inline in the Verilog source (handled by the frontend) or
+attached to an existing transition system from a property string, which is
+what the benchmark suite does.
+"""
+
+from repro.sva.properties import (
+    PropertyError,
+    attach_property,
+    parse_property,
+    parse_property_expr,
+)
+
+__all__ = ["PropertyError", "attach_property", "parse_property", "parse_property_expr"]

@@ -1,0 +1,120 @@
+"""Parsing of SVA-style boolean safety properties against a transition system.
+
+A property string uses Verilog expression syntax over the signals of the
+design (hierarchical names written with dots, e.g. ``u_fifo.count <= 4``).
+The full SVA temporal layer is not needed for the paper's benchmarks: all
+properties are invariants (implicitly ``always``), optionally written with the
+``|->`` implication operator which we lower to a plain Boolean implication
+evaluated in the same cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exprs import Expr, bool_implies, simplify, to_bool
+from repro.netlist import SafetyProperty, TransitionSystem
+from repro.verilog import ast
+from repro.verilog.parser import parse_expression_text
+from repro.verilog.elaborate import ElaboratedInstance, Signal
+from repro.synth.expr_convert import Scope, convert
+
+
+class PropertyError(Exception):
+    """Raised when a property string cannot be parsed or refers to unknown signals."""
+
+
+class _SystemScope(Scope):
+    """A :class:`Scope` that resolves names against a transition system.
+
+    Hierarchical names (``a.b.c``) are looked up directly in the system's
+    signal table; the dots were preserved by the synthesizer's flat naming.
+    """
+
+    def __init__(self, system: TransitionSystem) -> None:
+        self._system = system
+        self._widths = system.signal_widths()
+        instance = ElaboratedInstance(module_name=system.name, instance_name=system.name, path="")
+        for name, width in self._widths.items():
+            instance.signals[name] = Signal(
+                name=name, width=width, msb=width - 1, lsb=0, kind="wire"
+            )
+        super().__init__(instance, reader={})
+
+    def read_signal(self, name: str) -> Expr:
+        if name not in self._widths:
+            raise PropertyError(
+                f"property refers to unknown signal {name!r} "
+                f"(known signals: {', '.join(sorted(self._widths)[:8])}, ...)"
+            )
+        return super().read_signal(name)
+
+
+def _rewrite_hierarchical_names(text: str) -> str:
+    """Replace hierarchical separators so the expression parser sees one identifier.
+
+    The Verilog expression grammar would treat ``a.b`` as a syntax error; the
+    benchmark properties use dotted names produced by the synthesizer, so the
+    dots between identifier characters are kept by temporarily mapping them to
+    a marker that the scope translates back.
+    """
+    result = []
+    for index, char in enumerate(text):
+        if char == ".":
+            prev_ok = index > 0 and (text[index - 1].isalnum() or text[index - 1] == "_")
+            next_ok = index + 1 < len(text) and (
+                text[index + 1].isalpha() or text[index + 1] == "_"
+            )
+            if prev_ok and next_ok:
+                result.append("__DOT__")
+                continue
+        result.append(char)
+    return "".join(result)
+
+
+def _restore_dots(name: str) -> str:
+    return name.replace("__DOT__", ".")
+
+
+class _DotRestoringScope(_SystemScope):
+    def read_signal(self, name: str) -> Expr:
+        return super().read_signal(_restore_dots(name))
+
+    def signal(self, name: str) -> Signal:
+        return super().signal(_restore_dots(name))
+
+
+def parse_property_expr(system: TransitionSystem, text: str) -> Expr:
+    """Parse a property string into a 1-bit IR expression over the system's signals."""
+    # lower the SVA implication operator to a boolean implication
+    if "|->" in text or "|=>" in text:
+        operator = "|->" if "|->" in text else "|=>"
+        left_text, right_text = text.split(operator, 1)
+        left = parse_property_expr(system, left_text)
+        right = parse_property_expr(system, right_text)
+        return simplify(bool_implies(left, right))
+    rewritten = _rewrite_hierarchical_names(text)
+    try:
+        tree = parse_expression_text(rewritten)
+    except Exception as error:
+        raise PropertyError(f"cannot parse property {text!r}: {error}") from error
+    scope = _DotRestoringScope(system)
+    try:
+        expr = convert(tree, scope)
+    except PropertyError:
+        raise
+    except Exception as error:
+        raise PropertyError(f"cannot elaborate property {text!r}: {error}") from error
+    return simplify(to_bool(expr))
+
+
+def parse_property(system: TransitionSystem, name: str, text: str) -> SafetyProperty:
+    """Parse a property string and return a :class:`SafetyProperty` (not attached)."""
+    return SafetyProperty(name, parse_property_expr(system, text))
+
+
+def attach_property(system: TransitionSystem, name: str, text: str) -> SafetyProperty:
+    """Parse a property string and add it to the transition system."""
+    prop = parse_property(system, name, text)
+    system.properties.append(prop)
+    return prop

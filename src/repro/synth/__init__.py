@@ -1,0 +1,19 @@
+"""Synthesis of elaborated Verilog RTL into a word-level transition system.
+
+The synthesizer performs the dependency analysis between clocked blocks and
+continuous assignments described in Section III.B of the paper and produces a
+:class:`repro.netlist.TransitionSystem`:
+
+* continuous assignments and combinational ``always`` blocks become *wires*
+  (named combinational definitions),
+* clocked ``always`` blocks are symbolically executed to obtain one
+  next-state function per register, respecting blocking/non-blocking
+  assignment semantics,
+* 1-D memories are scalarized into one register per word,
+* the module hierarchy is flattened with dotted instance prefixes
+  (``fifo.head``), preserving the word-level structure of the RTL.
+"""
+
+from repro.synth.synthesize import SynthesisError, synthesize, synthesize_file, synthesize_source
+
+__all__ = ["SynthesisError", "synthesize", "synthesize_file", "synthesize_source"]

@@ -1,0 +1,396 @@
+"""Conversion of Verilog AST expressions to the word-level expression IR.
+
+The converter works relative to a *scope*: an elaborated instance plus a
+read environment that maps local signal names to IR expressions.  During the
+symbolic execution of procedural blocks the read environment is updated after
+blocking assignments, which gives the correct Verilog scheduling semantics.
+
+Width handling follows a simplified but consistent version of the Verilog
+rules: operands of binary operators are extended to a common width (constants
+are resized to the width of the non-constant operand), assignments resize the
+right-hand side to the width of the target, and comparison/reduction results
+are one bit wide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exprs import (
+    Expr,
+    bv_add,
+    bv_and,
+    bv_ashr,
+    bv_concat,
+    bv_const,
+    bv_eq,
+    bv_extract,
+    bv_ite,
+    bv_lshr,
+    bv_mul,
+    bv_ne,
+    bv_neg,
+    bv_nor,
+    bv_not,
+    bv_or,
+    bv_reduce_and,
+    bv_reduce_or,
+    bv_reduce_xor,
+    bv_resize,
+    bv_sge,
+    bv_sgt,
+    bv_shl,
+    bv_sle,
+    bv_slt,
+    bv_sub,
+    bv_udiv,
+    bv_uge,
+    bv_ugt,
+    bv_ule,
+    bv_ult,
+    bv_urem,
+    bv_var,
+    bv_xnor,
+    bv_xor,
+    bool_and,
+    bool_not,
+    bool_or,
+    constant_fold,
+    simplify,
+    to_bool,
+)
+from repro.exprs.nodes import Const
+from repro.verilog import ast
+from repro.verilog.elaborate import ElaboratedInstance, Signal
+
+
+class ConversionError(Exception):
+    """Raised when an expression cannot be converted."""
+
+
+#: width given to unsized integer literals before context resizing
+UNSIZED_WIDTH = 32
+
+
+class Scope:
+    """Expression-conversion scope for one elaborated instance.
+
+    ``reader`` maps a local signal name (or scalarized memory word name) to
+    the IR expression giving its current value.  By default this is the flat
+    hierarchical variable of the signal; the symbolic executor overrides
+    entries after blocking assignments.
+    """
+
+    def __init__(
+        self,
+        instance: ElaboratedInstance,
+        reader: Optional[Dict[str, Expr]] = None,
+    ) -> None:
+        self.instance = instance
+        self.reader: Dict[str, Expr] = reader if reader is not None else {}
+
+    # -- signal resolution ----------------------------------------------
+    def flat_name(self, local_name: str) -> str:
+        return self.instance.prefixed(local_name)
+
+    def signal(self, name: str) -> Signal:
+        return self.instance.signal(name)
+
+    def read_word(self, word_name: str, width: int) -> Expr:
+        """Read a scalar signal or memory word by its local (word) name."""
+        value = self.reader.get(word_name)
+        if value is not None:
+            return value
+        return bv_var(self.flat_name(word_name), width)
+
+    def read_signal(self, name: str) -> Expr:
+        """Read a declared (non-memory) signal or parameter by name."""
+        if name in self.instance.params:
+            return bv_const(self.instance.params[name], UNSIZED_WIDTH)
+        signal = self.signal(name)
+        if signal.is_memory:
+            raise ConversionError(
+                f"memory {name!r} used without an index in {self.instance.module_name}"
+            )
+        return self.read_word(name, signal.width)
+
+    def copy(self) -> "Scope":
+        return Scope(self.instance, dict(self.reader))
+
+
+def coerce_to(expr: Expr, width: int) -> Expr:
+    """Resize ``expr`` to ``width`` (truncate or zero-extend)."""
+    return bv_resize(expr, width)
+
+
+def _balance(left: Expr, right: Expr) -> tuple[Expr, Expr]:
+    """Bring two operands to a common width following the simplified rules."""
+    if left.width == right.width:
+        return left, right
+    if isinstance(right, Const) and not isinstance(left, Const):
+        return left, bv_resize(right, left.width)
+    if isinstance(left, Const) and not isinstance(right, Const):
+        return bv_resize(left, right.width), right
+    width = max(left.width, right.width)
+    return bv_resize(left, width), bv_resize(right, width)
+
+
+_BINARY_BUILDERS: Dict[str, Callable[[Expr, Expr], Expr]] = {
+    "+": bv_add,
+    "-": bv_sub,
+    "*": bv_mul,
+    "/": bv_udiv,
+    "%": bv_urem,
+    "&": bv_and,
+    "|": bv_or,
+    "^": bv_xor,
+    "~^": bv_xnor,
+    "^~": bv_xnor,
+    "==": bv_eq,
+    "===": bv_eq,
+    "!=": bv_ne,
+    "!==": bv_ne,
+    "<": bv_ult,
+    "<=": bv_ule,
+    ">": bv_ugt,
+    ">=": bv_uge,
+}
+
+_SIGNED_COMPARE: Dict[str, Callable[[Expr, Expr], Expr]] = {
+    "<": bv_slt,
+    "<=": bv_sle,
+    ">": bv_sgt,
+    ">=": bv_sge,
+}
+
+
+def convert(expr: ast.VExpr, scope: Scope) -> Expr:
+    """Convert a Verilog AST expression to the IR within ``scope``."""
+    result = _convert(expr, scope)
+    return result
+
+
+def convert_condition(expr: ast.VExpr, scope: Scope) -> Expr:
+    """Convert an expression used as a truth value (1-bit result)."""
+    return to_bool(convert(expr, scope))
+
+
+def _convert(expr: ast.VExpr, scope: Scope) -> Expr:
+    if isinstance(expr, ast.ENumber):
+        width = expr.width if expr.width is not None else UNSIZED_WIDTH
+        return bv_const(expr.value, width)
+
+    if isinstance(expr, ast.EIdent):
+        return scope.read_signal(expr.name)
+
+    if isinstance(expr, ast.EUnary):
+        return _convert_unary(expr, scope)
+
+    if isinstance(expr, ast.EBinary):
+        return _convert_binary(expr, scope)
+
+    if isinstance(expr, ast.ETernary):
+        cond = convert_condition(expr.cond, scope)
+        then_value = _convert(expr.then_value, scope)
+        else_value = _convert(expr.else_value, scope)
+        then_value, else_value = _balance(then_value, else_value)
+        return bv_ite(cond, then_value, else_value)
+
+    if isinstance(expr, ast.EConcat):
+        parts = [_convert(part, scope) for part in expr.parts]
+        return bv_concat(*parts)
+
+    if isinstance(expr, ast.EReplicate):
+        count = _const_value(expr.count, scope)
+        if count <= 0:
+            raise ConversionError("replication count must be positive")
+        value = _convert(expr.value, scope)
+        return bv_concat(*([value] * count))
+
+    if isinstance(expr, ast.EIndex):
+        return _convert_index(expr, scope)
+
+    if isinstance(expr, ast.ERange):
+        return _convert_range(expr, scope)
+
+    if isinstance(expr, ast.EFunctionCall):
+        return _convert_call(expr, scope)
+
+    raise ConversionError(f"unsupported expression {expr!r}")
+
+
+def _convert_unary(expr: ast.EUnary, scope: Scope) -> Expr:
+    operand = _convert(expr.operand, scope)
+    op = expr.op
+    if op == "~":
+        return bv_not(operand)
+    if op == "-":
+        return bv_neg(operand)
+    if op == "!":
+        return bool_not(operand)
+    if op == "&":
+        return bv_reduce_and(operand)
+    if op == "|":
+        return bv_reduce_or(operand)
+    if op == "^":
+        return bv_reduce_xor(operand)
+    if op == "~&":
+        return bv_not(bv_reduce_and(operand))
+    if op == "~|":
+        return bv_not(bv_reduce_or(operand))
+    if op in ("~^", "^~"):
+        return bv_not(bv_reduce_xor(operand))
+    raise ConversionError(f"unsupported unary operator {op!r}")
+
+
+def _convert_binary(expr: ast.EBinary, scope: Scope) -> Expr:
+    op = expr.op
+    left = _convert(expr.left, scope)
+    right = _convert(expr.right, scope)
+
+    if op == "&&":
+        return bool_and(left, right)
+    if op == "||":
+        return bool_or(left, right)
+    if op in ("<<", "<<<"):
+        return bv_shl(left, right)
+    if op == ">>":
+        return bv_lshr(left, right)
+    if op == ">>>":
+        return bv_ashr(left, right)
+    if op == "**":
+        base = _fold_to_int(left)
+        exponent = _fold_to_int(right)
+        if base is None or exponent is None:
+            raise ConversionError("non-constant ** is not synthesizable")
+        return bv_const(base**exponent, UNSIZED_WIDTH)
+
+    signed = _is_signed(expr.left, scope) and _is_signed(expr.right, scope)
+    if signed and op in _SIGNED_COMPARE:
+        left, right = _balance(left, right)
+        return _SIGNED_COMPARE[op](left, right)
+
+    builder = _BINARY_BUILDERS.get(op)
+    if builder is None:
+        raise ConversionError(f"unsupported binary operator {op!r}")
+    left, right = _balance(left, right)
+    return builder(left, right)
+
+
+def _is_signed(expr: ast.VExpr, scope: Scope) -> bool:
+    if isinstance(expr, ast.EIdent):
+        try:
+            return scope.signal(expr.name).signed
+        except Exception:
+            return False
+    if isinstance(expr, ast.EFunctionCall) and expr.name == "$signed":
+        return True
+    return False
+
+
+def _convert_index(expr: ast.EIndex, scope: Scope) -> Expr:
+    if not isinstance(expr.base, ast.EIdent):
+        # bit-select of a computed expression
+        base = _convert(expr.base, scope)
+        return _dynamic_bit_select(base, expr.index, scope)
+    name = expr.base.name
+    if name in scope.instance.params:
+        base = scope.read_signal(name)
+        return _dynamic_bit_select(base, expr.index, scope)
+    signal = scope.signal(name)
+    if signal.is_memory:
+        return _memory_read(signal, expr.index, scope)
+    base = scope.read_signal(name)
+    return _bit_select(base, signal, expr.index, scope)
+
+
+def _bit_select(base: Expr, signal: Signal, index_expr: ast.VExpr, scope: Scope) -> Expr:
+    index_const = _fold_to_int(_convert(index_expr, scope))
+    if index_const is not None:
+        position = index_const - signal.lsb if signal.msb >= signal.lsb else signal.lsb - index_const
+        if not 0 <= position < signal.width:
+            raise ConversionError(
+                f"bit-select index {index_const} out of range for {signal.name!r}"
+            )
+        return bv_extract(base, position, position)
+    return _dynamic_bit_select(base, index_expr, scope)
+
+
+def _dynamic_bit_select(base: Expr, index_expr: ast.VExpr, scope: Scope) -> Expr:
+    index = _convert(index_expr, scope)
+    shifted = bv_lshr(base, coerce_to(index, base.width))
+    return bv_extract(shifted, 0, 0)
+
+
+def _memory_read(signal: Signal, index_expr: ast.VExpr, scope: Scope) -> Expr:
+    index = _convert(index_expr, scope)
+    index_const = _fold_to_int(index)
+    words = signal.word_names()
+    if index_const is not None:
+        offset = index_const - signal.array_lo
+        if not 0 <= offset < signal.array_size:
+            raise ConversionError(
+                f"memory index {index_const} out of range for {signal.name!r}"
+            )
+        return scope.read_word(words[offset], signal.width)
+    # non-constant index: priority multiplexer over all words
+    result = scope.read_word(words[0], signal.width)
+    for offset in range(1, signal.array_size):
+        address = bv_const(offset + signal.array_lo, index.width)
+        result = bv_ite(
+            bv_eq(index, address),
+            scope.read_word(words[offset], signal.width),
+            result,
+        )
+    return result
+
+
+def _convert_range(expr: ast.ERange, scope: Scope) -> Expr:
+    if not isinstance(expr.base, ast.EIdent):
+        base = _convert(expr.base, scope)
+        msb = _const_value(expr.msb, scope)
+        lsb = _const_value(expr.lsb, scope)
+        return bv_extract(base, msb, lsb)
+    signal = scope.signal(expr.base.name)
+    base = scope.read_signal(expr.base.name)
+    msb = _const_value(expr.msb, scope)
+    lsb = _const_value(expr.lsb, scope)
+    if signal.msb >= signal.lsb:
+        hi = msb - signal.lsb
+        lo = lsb - signal.lsb
+    else:
+        hi = signal.lsb - lsb
+        lo = signal.lsb - msb
+    if not (0 <= lo <= hi < signal.width):
+        raise ConversionError(
+            f"part-select [{msb}:{lsb}] out of range for {signal.name!r}"
+        )
+    return bv_extract(base, hi, lo)
+
+
+def _convert_call(expr: ast.EFunctionCall, scope: Scope) -> Expr:
+    if expr.name in ("$signed", "$unsigned"):
+        return _convert(expr.args[0], scope)
+    if expr.name == "$clog2":
+        value = _const_value(expr.args[0], scope)
+        bits = 0
+        value -= 1
+        while value > 0:
+            bits += 1
+            value >>= 1
+        return bv_const(bits, UNSIZED_WIDTH)
+    raise ConversionError(f"unsupported function call {expr.name!r}")
+
+
+def _const_value(expr: ast.VExpr, scope: Scope) -> int:
+    value = _fold_to_int(_convert(expr, scope))
+    if value is None:
+        raise ConversionError(f"expected a constant expression, got {expr!r}")
+    return value
+
+
+def _fold_to_int(expr: Expr) -> Optional[int]:
+    folded = constant_fold(simplify(expr))
+    if isinstance(folded, Const):
+        return folded.value
+    return None

@@ -1,0 +1,140 @@
+"""Model approximations reproducing the imprecision of some software verifiers.
+
+The paper observes that software-netlists "heavily use bit-level operations"
+and that verifiers without bit-precise reasoning (SeaHorn's Horn-level PDR,
+numerically-abstracting configurations of CPAChecker) consequently report
+wrong results.  :func:`havoc_bitlevel_ops` reproduces that behaviour in a
+controlled way: every bit-level operation the tool cannot model precisely is
+replaced by a fresh non-deterministic input ("havocked").  The resulting
+transition system *over-approximates* the original, so
+
+* safe answers on the approximation are still sound in principle, but
+* spurious counterexamples appear on designs whose correctness depends on the
+  havocked operations — the harness classifies the resulting ``unsafe``
+  verdicts on known-safe designs as *wrong*, exactly like the paper does for
+  SeaHorn and CPAChecker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.exprs import Expr, bv_var
+from repro.exprs.nodes import Const, Op, Var
+from repro.netlist import SafetyProperty, TransitionSystem
+
+
+#: operators a word-level integer reasoner typically cannot model precisely
+_IMPRECISE_OPS = {
+    "and",
+    "or",
+    "xor",
+    "xnor",
+    "nand",
+    "nor",
+    "not",
+    "redxor",
+    "concat",
+    "extract",
+    "lshr",
+    "shl",
+    "ashr",
+}
+
+
+def _is_imprecise(node: Op) -> bool:
+    if node.op not in _IMPRECISE_OPS:
+        return False
+    # 1-bit logic is plain Boolean structure every tool handles precisely
+    if node.op in ("and", "or", "xor", "not", "xnor", "nand", "nor") and node.width == 1:
+        return all(arg.width == 1 for arg in node.args)
+        # (returning True here means "precise", handled by the caller below)
+    return True
+
+
+def havoc_bitlevel_ops(system: TransitionSystem, suffix: str = "havoc") -> TransitionSystem:
+    """Return an over-approximation of ``system`` with bit-level ops havocked.
+
+    Every maximal subexpression rooted at an imprecise operator (multi-bit
+    bitwise logic, shifts, concatenation, part-selects) is replaced by a fresh
+    primary input of the same width.  Boolean (1-bit) connectives and
+    word-level arithmetic/comparisons are kept.
+    """
+    approx = TransitionSystem(f"{system.name}_{suffix}")
+    approx.source = system.source
+    flat = system.flattened()
+    approx.inputs = dict(flat.inputs)
+    approx.state_vars = dict(flat.state_vars)
+    approx.init = dict(flat.init)
+
+    counter = [0]
+
+    def fresh_input(width: int) -> Expr:
+        name = f"__{suffix}_{counter[0]}"
+        counter[0] += 1
+        approx.inputs[name] = width
+        return bv_var(name, width)
+
+    cache: Dict[int, Expr] = {}
+
+    def rewrite(node: Expr) -> Expr:
+        key = id(node)
+        if key in cache:
+            return cache[key]
+        if isinstance(node, (Const, Var)):
+            result: Expr = node
+        else:
+            assert isinstance(node, Op)
+            precise_boolean = (
+                node.op in ("and", "or", "xor", "not", "xnor", "nand", "nor")
+                and node.width == 1
+                and all(arg.width == 1 for arg in node.args)
+            )
+            if node.op in _IMPRECISE_OPS and not precise_boolean:
+                result = fresh_input(node.width)
+            else:
+                new_args = tuple(rewrite(arg) for arg in node.args)
+                if all(new is old for new, old in zip(new_args, node.args)):
+                    result = node
+                else:
+                    result = Op(node.op, new_args, node.width, node.params)
+        cache[key] = result
+        return result
+
+    approx.next = {name: rewrite(expr) for name, expr in flat.next.items()}
+    approx.constraints = [rewrite(expr) for expr in flat.constraints]
+    approx.properties = [
+        SafetyProperty(prop.name, rewrite(prop.expr)) for prop in flat.properties
+    ]
+    approx.validate()
+    return approx
+
+
+def count_bitlevel_ops(system: TransitionSystem) -> int:
+    """Count imprecise bit-level operator occurrences in a design.
+
+    Used by the ablation benchmark relating the amount of bit-level structure
+    to the precision loss of the integer approximation.
+    """
+    flat = system.flattened()
+    seen: Set[int] = set()
+    count = 0
+
+    def walk(node: Expr) -> None:
+        nonlocal count
+        if id(node) in seen or not isinstance(node, Op):
+            return
+        seen.add(id(node))
+        precise_boolean = (
+            node.op in ("and", "or", "xor", "not", "xnor", "nand", "nor")
+            and node.width == 1
+            and all(arg.width == 1 for arg in node.args)
+        )
+        if node.op in _IMPRECISE_OPS and not precise_boolean:
+            count += 1
+        for arg in node.args:
+            walk(arg)
+
+    for expr in list(flat.next.values()) + [p.expr for p in flat.properties]:
+        walk(expr)
+    return count

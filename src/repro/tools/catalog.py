@@ -1,0 +1,190 @@
+"""The tool catalogue: named configurations of the verification engines."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.engines import (
+    AbstractInterpretationEngine,
+    ImpactEngine,
+    InterpolationEngine,
+    KInductionEngine,
+    KikiEngine,
+    PDREngine,
+    PredicateAbstractionEngine,
+    Status,
+    VerificationResult,
+)
+from repro.netlist import TransitionSystem
+from repro.tools.approximations import havoc_bitlevel_ops
+
+
+@dataclass
+class ToolConfig:
+    """One verification tool of the paper, as an engine configuration."""
+
+    name: str
+    #: paper tool this configuration stands in for
+    emulates: str
+    #: design representation level: 'bit', 'word' or 'software'
+    level: str
+    #: technique family, used to group tools into Figures 3-5
+    family: str
+    #: engine factory: system -> engine object with .verify()
+    factory: Callable[[TransitionSystem], object]
+    #: whether the design is over-approximated before verification
+    approximate_bitvectors: bool = False
+
+    def build(self, system: TransitionSystem):
+        design = havoc_bitlevel_ops(system) if self.approximate_bitvectors else system
+        return self.factory(design)
+
+
+def _tool(name, emulates, level, family, factory, approximate=False) -> ToolConfig:
+    return ToolConfig(
+        name=name,
+        emulates=emulates,
+        level=level,
+        family=family,
+        factory=factory,
+        approximate_bitvectors=approximate,
+    )
+
+
+#: every tool configuration of the evaluation, keyed by name
+TOOLS: Dict[str, ToolConfig] = {
+    config.name: config
+    for config in [
+        # ---- k-induction family (Figure 3) -------------------------------
+        _tool(
+            "abc-kind",
+            "ABC 1.01 (k-induction)",
+            "bit",
+            "k-induction",
+            lambda s: KInductionEngine(s, representation="bit", simple_path=True),
+        ),
+        _tool(
+            "ebmc-kind",
+            "EBMC 4.2 (word-level k-induction)",
+            "word",
+            "k-induction",
+            lambda s: KInductionEngine(s, representation="word", simple_path=True),
+        ),
+        _tool(
+            "cbmc-kind",
+            "CBMC 5.2 (k-induction on the software-netlist)",
+            "software",
+            "k-induction",
+            lambda s: KInductionEngine(s, representation="word", simple_path=False),
+        ),
+        _tool(
+            "2ls-kind",
+            "2LS 0.3.4 (k-induction)",
+            "software",
+            "k-induction",
+            lambda s: KInductionEngine(s, representation="word", simple_path=False, max_k=32),
+        ),
+        # ---- interpolation family (Figure 4) -------------------------------
+        _tool(
+            "abc-interpolation",
+            "ABC 1.01 (interpolation)",
+            "bit",
+            "interpolation",
+            lambda s: InterpolationEngine(s, representation="bit"),
+        ),
+        _tool(
+            "cpa-interpolation",
+            "CPAChecker 1.4 (interpolation)",
+            "software",
+            "interpolation",
+            lambda s: InterpolationEngine(s, representation="word", max_iterations=60),
+        ),
+        _tool(
+            "impara",
+            "IMPARA (IMPACT algorithm)",
+            "software",
+            "interpolation",
+            lambda s: ImpactEngine(s, representation="word"),
+        ),
+        # ---- PDR and hybrid family (Figure 5) -------------------------------
+        _tool(
+            "abc-pdr",
+            "ABC 1.01 (IC3/PDR)",
+            "bit",
+            "pdr-hybrid",
+            lambda s: PDREngine(s, representation="bit"),
+        ),
+        _tool(
+            "seahorn-pdr",
+            "SeaHorn (Horn-clause PDR, limited bit-vector support)",
+            "software",
+            "pdr-hybrid",
+            lambda s: PDREngine(s, representation="word"),
+            approximate=True,
+        ),
+        _tool(
+            "cpa-predabs",
+            "CPAChecker 1.4 (predicate abstraction)",
+            "software",
+            "pdr-hybrid",
+            lambda s: PredicateAbstractionEngine(s, representation="word"),
+            approximate=True,
+        ),
+        _tool(
+            "2ls-kiki",
+            "2LS 0.3.4 (kIkI: BMC + k-induction + k-invariants)",
+            "software",
+            "pdr-hybrid",
+            lambda s: KikiEngine(s, representation="word"),
+        ),
+        # ---- abstract interpretation (discussed, not plotted) -----------------
+        _tool(
+            "astree",
+            "Astrée-style interval abstract interpretation",
+            "software",
+            "abstract-interpretation",
+            lambda s: AbstractInterpretationEngine(s),
+        ),
+    ]
+}
+
+
+def available_tools(family: Optional[str] = None) -> List[str]:
+    """Return tool names, optionally filtered by technique family."""
+    return [
+        name
+        for name, config in TOOLS.items()
+        if family is None or config.family == family
+    ]
+
+
+def run_tool(
+    tool_name: str,
+    system: TransitionSystem,
+    property_name: Optional[str] = None,
+    timeout: Optional[float] = 60.0,
+) -> VerificationResult:
+    """Run one tool configuration on one design and return its result.
+
+    Engine exceptions are mapped to ``Status.ERROR`` results, mirroring the
+    "error (crash)" category of the paper's figures.
+    """
+    if tool_name not in TOOLS:
+        raise KeyError(f"unknown tool {tool_name!r}; available: {', '.join(sorted(TOOLS))}")
+    config = TOOLS[tool_name]
+    start = time.monotonic()
+    try:
+        engine = config.build(system)
+        result = engine.verify(property_name, timeout=timeout)
+    except Exception as error:  # noqa: BLE001 - tool crash category
+        return VerificationResult(
+            Status.ERROR,
+            engine=tool_name,
+            property_name=property_name or "",
+            runtime=time.monotonic() - start,
+            reason=f"{type(error).__name__}: {error}",
+        )
+    result.engine = tool_name
+    return result

@@ -1,0 +1,27 @@
+"""v2c: synthesis of Verilog RTL into a software-netlist.
+
+This package is the reproduction of the paper's core artefact, the ``v2c``
+tool (Section III): it turns the word-level transition system obtained from
+Verilog RTL into
+
+* a *software-netlist* in ANSI-C (:class:`repro.v2c.codegen.CCodeGenerator`):
+  a cycle-accurate, bit-precise, word-level C program in which one call of the
+  top-level step function corresponds to one clock cycle, with the safety
+  properties instrumented as assertions and the primary inputs assigned
+  non-deterministic values, and
+* an executable Python model of the same program
+  (:class:`repro.v2c.softnetlist.SoftwareNetlist`) used by the software-level
+  verification engines and by the equivalence cross-checks of Section III.C.
+"""
+
+from repro.v2c.softnetlist import SoftwareNetlist, SoftwareNetlistError
+from repro.v2c.codegen import CCodeGenerator, generate_c
+from repro.v2c.instrument import instrument_properties
+
+__all__ = [
+    "SoftwareNetlist",
+    "SoftwareNetlistError",
+    "CCodeGenerator",
+    "generate_c",
+    "instrument_properties",
+]

@@ -1,0 +1,42 @@
+"""Property instrumentation for the software-netlist.
+
+The paper instruments the SVA safety properties of the RTL as assertions in
+the software-netlist model.  Properties written in the Verilog source are
+already carried by the transition system; this module adds the ability to
+instrument *additional* properties given as SVA-style strings — the workflow
+used by the benchmark suite, where the properties accompany the designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.netlist import SafetyProperty, TransitionSystem
+from repro.sva import attach_property
+
+
+def instrument_properties(
+    system: TransitionSystem,
+    properties: Mapping[str, str],
+    replace: bool = False,
+) -> List[SafetyProperty]:
+    """Attach SVA-style property strings to a transition system.
+
+    Parameters
+    ----------
+    system:
+        The transition system produced from the Verilog RTL.
+    properties:
+        Map from property name to SVA boolean expression text.
+    replace:
+        When True, any properties already present (e.g. parsed from inline
+        ``assert property`` statements) are dropped first.
+
+    Returns the list of attached :class:`SafetyProperty` objects.
+    """
+    if replace:
+        system.properties = []
+    attached = []
+    for name, text in properties.items():
+        attached.append(attach_property(system, name, text))
+    return attached

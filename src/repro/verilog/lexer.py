@@ -1,0 +1,267 @@
+"""Tokenizer for the supported Verilog-2005 subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class VerilogSyntaxError(Exception):
+    """Raised on lexical or syntactic errors, with line information."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+#: Verilog keywords recognised by the parser (a superset is reserved).
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "reg",
+        "integer",
+        "parameter",
+        "localparam",
+        "assign",
+        "always",
+        "initial",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "case",
+        "casez",
+        "casex",
+        "endcase",
+        "default",
+        "for",
+        "while",
+        "posedge",
+        "negedge",
+        "or",
+        "and",
+        "not",
+        "nand",
+        "nor",
+        "xor",
+        "xnor",
+        "buf",
+        "assert",
+        "assume",
+        "property",
+        "endproperty",
+        "genvar",
+        "generate",
+        "endgenerate",
+        "function",
+        "endfunction",
+        "signed",
+        "unsigned",
+    }
+)
+
+
+@dataclass
+class Token:
+    """A single lexical token."""
+
+    kind: str  # 'id', 'keyword', 'number', 'string', 'op', 'system', 'eof'
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+# multi-character operators, longest first so the scanner is greedy
+_OPERATORS = [
+    "<<<",
+    ">>>",
+    "===",
+    "!==",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "~&",
+    "~|",
+    "~^",
+    "^~",
+    "**",
+    "+:",
+    "-:",
+    "::",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "?",
+    "@",
+    "#",
+    ".",
+]
+
+_NUMBER_RE = re.compile(
+    r"(?:(\d+)\s*)?'\s*[sS]?([bBdDhHoO])\s*([0-9a-fA-FxXzZ_?]+)|(\d[\d_]*)"
+)
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_SYSTEM_RE = re.compile(r"\$[A-Za-z_][A-Za-z0-9_]*")
+_STRING_RE = re.compile(r'"([^"\\]|\\.)*"')
+_DIRECTIVE_RE = re.compile(r"`[A-Za-z_][A-Za-z0-9_]*")
+
+
+class Lexer:
+    """Converts Verilog source text into a list of tokens.
+
+    Comments, compiler directives (```timescale``, ```define`` without uses)
+    and whitespace are skipped.  Simple text macros defined with ```define``
+    are expanded.
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = self._strip_comments(text)
+        self._defines: dict[str, str] = {}
+
+    @staticmethod
+    def _strip_comments(text: str) -> str:
+        # block comments (keep newlines so line numbers stay correct)
+        def _keep_lines(match: re.Match) -> str:
+            return "\n" * match.group(0).count("\n")
+
+        text = re.sub(r"/\*.*?\*/", _keep_lines, text, flags=re.S)
+        text = re.sub(r"//[^\n]*", "", text)
+        return text
+
+    def tokenize(self) -> List[Token]:
+        """Return the token list ending with an EOF token."""
+        tokens: List[Token] = []
+        line = 1
+        pos = 0
+        text = self._text
+        length = len(text)
+        while pos < length:
+            ch = text[pos]
+            if ch == "\n":
+                line += 1
+                pos += 1
+                continue
+            if ch in " \t\r":
+                pos += 1
+                continue
+            if ch == "`":
+                pos, line = self._directive(text, pos, line)
+                continue
+            if ch == '"':
+                match = _STRING_RE.match(text, pos)
+                if not match:
+                    raise VerilogSyntaxError("unterminated string", line)
+                tokens.append(Token("string", match.group(0), line))
+                pos = match.end()
+                continue
+            if ch == "$":
+                match = _SYSTEM_RE.match(text, pos)
+                if match:
+                    tokens.append(Token("system", match.group(0), line))
+                    pos = match.end()
+                    continue
+            number = _NUMBER_RE.match(text, pos)
+            if number and (ch.isdigit() or ch == "'"):
+                tokens.append(Token("number", number.group(0), line))
+                pos = number.end()
+                continue
+            ident = _ID_RE.match(text, pos)
+            if ident:
+                word = ident.group(0)
+                if word in self._defines:
+                    expansion = self._defines[word]
+                    text = text[: ident.start()] + expansion + text[ident.end() :]
+                    length = len(text)
+                    continue
+                kind = "keyword" if word in KEYWORDS else "id"
+                tokens.append(Token(kind, word, line))
+                pos = ident.end()
+                continue
+            for op in _OPERATORS:
+                if text.startswith(op, pos):
+                    tokens.append(Token("op", op, line))
+                    pos += len(op)
+                    break
+            else:
+                raise VerilogSyntaxError(f"unexpected character {ch!r}", line)
+        tokens.append(Token("eof", "", line))
+        return tokens
+
+    def _directive(self, text: str, pos: int, line: int) -> tuple[int, int]:
+        """Handle compiler directives; only ```define NAME value`` is interpreted."""
+        match = _DIRECTIVE_RE.match(text, pos)
+        if not match:
+            raise VerilogSyntaxError("stray backquote", line)
+        name = match.group(0)[1:]
+        end_of_line = text.find("\n", pos)
+        if end_of_line == -1:
+            end_of_line = len(text)
+        rest = text[match.end() : end_of_line].strip()
+        if name == "define" and rest:
+            parts = rest.split(None, 1)
+            macro = parts[0]
+            value = parts[1] if len(parts) > 1 else ""
+            self._defines[macro] = value
+            return end_of_line, line
+        if name in ("timescale", "include", "default_nettype", "ifdef", "ifndef", "endif", "else", "undef", "celldefine", "endcelldefine"):
+            return end_of_line, line
+        # a macro *use*: expand inline
+        if name in self._defines:
+            expansion = self._defines[name]
+            new_text = text[:pos] + expansion + text[match.end() :]
+            self._text = new_text
+            return pos, line
+        return end_of_line, line
+
+
+def parse_number(token_text: str, line: int = 0) -> tuple[int, Optional[int]]:
+    """Parse a Verilog number literal; returns ``(value, width or None)``.
+
+    ``x``/``z``/``?`` digits are treated as 0 (the synthesizer does not model
+    unknowns, matching v2c's two-valued software-netlist semantics).
+    """
+    text = token_text.replace("_", "").strip()
+    match = _NUMBER_RE.fullmatch(text)
+    if not match:
+        raise VerilogSyntaxError(f"malformed number {token_text!r}", line)
+    if match.group(4) is not None:
+        return int(match.group(4)), None
+    width = int(match.group(1)) if match.group(1) else None
+    base_char = match.group(2).lower()
+    digits = match.group(3).replace("?", "0")
+    digits = re.sub(r"[xXzZ]", "0", digits)
+    base = {"b": 2, "d": 10, "h": 16, "o": 8}[base_char]
+    value = int(digits, base) if digits else 0
+    return value, width
