@@ -1,4 +1,20 @@
 """Setup shim so that editable installs work with the offline legacy toolchain."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hw-unbounded",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Unbounded safety verification for hardware using "
+        "software analyzers': SAT-based word/bit-level model checking engines"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    extras_require={"dev": ["pytest"]},
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.tools.bench:main",
+        ]
+    },
+)

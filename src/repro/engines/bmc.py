@@ -39,10 +39,12 @@ class BMCEngine:
         system: TransitionSystem,
         max_bound: int = 128,
         representation: str = "word",
+        incremental_template: bool = True,
     ) -> None:
         self.system = system
         self.max_bound = max_bound
         self.representation = representation
+        self.incremental_template = incremental_template
 
     def verify(
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
@@ -50,7 +52,11 @@ class BMCEngine:
         """Search for a violation of ``property_name`` up to ``max_bound`` cycles."""
         budget = Budget(timeout)
         property_name = property_name or self.system.properties[0].name
-        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
         encoder.solver.set_deadline(budget.deadline)
         encoder.assert_init(0)
 

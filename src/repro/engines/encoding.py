@@ -13,19 +13,49 @@ Two representations are supported, mirroring the paper's comparison axes:
 * ``representation="bit"``: the system is first lowered to the and-inverter
   graph of :mod:`repro.aig` and the AIG gates are encoded clause-by-clause
   (the Yosys/ABC-style bit-level flow).
+
+Template-based incremental unrolling
+------------------------------------
+
+Unrolling dominates the run time of every engine in the paper's comparison:
+BMC, k-induction, interpolation, kIkI and PDR all instantiate the transition
+relation once per time frame.  The historical ("legacy") path rebuilt the
+frame-stamped expression tree with :func:`repro.exprs.substitute.rename` and
+re-ran the whole Tseitin bit-blast for every frame.
+
+The default path instead bit-blasts the flattened transition relation (and
+each property) exactly *once* into a :class:`FrameTemplate` — a normalized CNF
+fragment plus a symbol table classifying every template variable as a
+current-state bit, next-state bit, input bit or internal gate output.  Frame
+``k`` is then instantiated by remapping template literals through a per-frame
+offset table (pure integer arithmetic, no expression traversal, no dict-keyed
+expression-cache lookups) and bulk-loading the remapped clauses with
+:meth:`repro.sat.solver.Solver.add_clauses_mapped`.  Templates are cached per
+``(system, representation)`` so repeated encoder constructions (for example
+the per-iteration encoders of the interpolation engine) reuse both the
+flattened system and the blasted CNF.
+
+The legacy path remains available behind ``incremental_template=False`` for
+cross-checking; the two paths are equisatisfiable frame by frame and produce
+identical verdicts (asserted by ``tests/test_template_equisat.py`` and by
+``python -m repro.tools.bench``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.aig import AIG, aig_from_transition_system
 from repro.aig.graph import aig_is_negated
-from repro.exprs import Expr, bv_const, bv_eq, bv_var, substitute
+from repro.exprs import Expr, bv_eq, bv_var, evaluate
 from repro.exprs.substitute import rename
 from repro.netlist import TransitionSystem
 from repro.engines.result import Counterexample
-from repro.smt import BVSolver
+from repro.sat.cnf import CNF
+from repro.sat.tseitin import TseitinEncoder
+from repro.smt import BitBlaster, BVSolver
 
 
 def frame_name(name: str, frame: int) -> str:
@@ -33,8 +63,419 @@ def frame_name(name: str, frame: int) -> str:
     return f"{name}@{frame}"
 
 
+# ---------------------------------------------------------------------------
+# frame templates
+# ---------------------------------------------------------------------------
+
+#: one named signal of a template: (base name, width, template bit vars LSB-first)
+RoleEntry = Tuple[str, int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class FrameTemplate:
+    """A bit-blasted, frame-independent CNF fragment.
+
+    A template is produced once per transition system (per representation) and
+    instantiated at any time frame by pure literal remapping.  Template
+    variables are classified into four roles:
+
+    * ``cur`` — bits of state variables at the *current* frame ``k``,
+    * ``nxt`` — bits of state variables at the *next* frame ``k + 1``,
+    * ``inp`` — bits of primary inputs at frame ``k``,
+    * ``internal`` — Tseitin/AIG gate outputs, freshly allocated per frame.
+
+    Template variables are canonically renumbered at capture time: the named
+    (role) variables and the constant occupy ``1 .. named_count`` and the
+    internal gate variables form the contiguous block
+    ``named_count + 1 .. num_vars``.  Because the solver allocates each
+    frame's internal block contiguously too, internal literals remap by a
+    constant offset.  ``clauses`` are normalized (non-empty, duplicate-free,
+    tautology-free) and pre-split into ``gate_clauses`` (length >= 2, only
+    internal variables — instantiated through the check-free
+    :meth:`repro.sat.solver.Solver.add_fresh_clauses` path) and
+    ``boundary_clauses`` (everything touching a named bit or the constant —
+    instantiated through :meth:`repro.sat.solver.Solver.add_clauses_mapped`).
+
+    ``true_var`` is the template's constant-true variable (if any); it maps to
+    the solver's shared constant instead of a fresh variable.  ``output`` is
+    an optional distinguished template literal (the truth literal of a
+    property template).
+    """
+
+    num_vars: int
+    named_count: int
+    cur: Tuple[RoleEntry, ...]
+    nxt: Tuple[RoleEntry, ...]
+    inp: Tuple[RoleEntry, ...]
+    internal: Tuple[int, ...]
+    gate_clauses: Tuple[Tuple[int, ...], ...]
+    boundary_clauses: Tuple[Tuple[int, ...], ...]
+    true_var: Optional[int] = None
+    #: distinguished output literal (property templates)
+    output: Optional[int] = None
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.gate_clauses) + len(self.boundary_clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FrameTemplate(vars={self.num_vars}, clauses={self.num_clauses}, "
+            f"internal={len(self.internal)})"
+        )
+
+
+def _finalize_template(
+    clauses: Iterable[Sequence[int]],
+    num_vars: int,
+    cur: Sequence[RoleEntry],
+    nxt: Sequence[RoleEntry],
+    inp: Sequence[RoleEntry],
+    true_var: Optional[int],
+    output: Optional[int],
+) -> FrameTemplate:
+    """Normalize, canonically renumber and split a captured blast.
+
+    Named variables (and the constant) are packed into ``1 .. named_count``,
+    internal gate variables into the trailing contiguous block, and the
+    clauses are split into the gate/boundary groups described on
+    :class:`FrameTemplate`.
+    """
+    if true_var is not None:
+        # the constant is true in every instantiation: drop satisfied clauses,
+        # strip falsified literals (turns many boundary clauses into pure gate
+        # clauses and shrinks the template once instead of per frame)
+        simplified: List[Sequence[int]] = []
+        for clause in clauses:
+            if true_var in clause:
+                continue
+            stripped = [l for l in clause if l != -true_var]
+            if not stripped:
+                # clause asserted the constant false: template is contradictory
+                stripped = [-true_var]
+            simplified.append(stripped)
+        clauses = simplified
+
+    remap = [0] * (num_vars + 1)
+    next_id = 0
+
+    def assign(var: int) -> int:
+        nonlocal next_id
+        if remap[var] == 0:
+            next_id += 1
+            remap[var] = next_id
+        return remap[var]
+
+    if true_var is not None:
+        true_var = assign(true_var)
+    for entries in (cur, nxt, inp):
+        for _, _, bits in entries:
+            for var in bits:
+                assign(var)
+    named_count = next_id
+    for var in range(1, num_vars + 1):
+        if remap[var] == 0:
+            next_id += 1
+            remap[var] = next_id
+
+    def map_roles(entries: Sequence[RoleEntry]) -> Tuple[RoleEntry, ...]:
+        return tuple(
+            (name, width, tuple(remap[var] for var in bits))
+            for name, width, bits in entries
+        )
+
+    normalized = _normalize_clauses(clauses)
+    mapped_clauses = tuple(
+        tuple(remap[l] if l > 0 else -remap[-l] for l in clause)
+        for clause in normalized
+    )
+    gate_clauses = []
+    boundary_clauses = []
+    for clause in mapped_clauses:
+        if len(clause) >= 2 and all(abs(l) > named_count for l in clause):
+            gate_clauses.append(clause)
+        else:
+            boundary_clauses.append(clause)
+    if output is not None:
+        output = remap[output] if output > 0 else -remap[-output]
+    return FrameTemplate(
+        num_vars=num_vars,
+        named_count=named_count,
+        cur=map_roles(cur),
+        nxt=map_roles(nxt),
+        inp=map_roles(inp),
+        internal=tuple(range(named_count + 1, num_vars + 1)),
+        gate_clauses=tuple(gate_clauses),
+        boundary_clauses=tuple(boundary_clauses),
+        true_var=true_var,
+        output=output,
+    )
+
+
+def _normalize_clauses(
+    clauses: Iterable[Sequence[int]],
+) -> Tuple[Tuple[int, ...], ...]:
+    """Dedupe literals (keeping order) and drop tautological clauses."""
+    normalized: List[Tuple[int, ...]] = []
+    for clause in clauses:
+        if len(clause) > 1:
+            clause = tuple(dict.fromkeys(clause))
+            literal_set = set(clause)
+            if any(-lit in literal_set for lit in literal_set):
+                continue
+        else:
+            clause = tuple(clause)
+        if clause:
+            normalized.append(clause)
+    return tuple(normalized)
+
+
+def _capture_word_blast(
+    flat: TransitionSystem,
+    cnf: CNF,
+    blaster: BitBlaster,
+    output: Optional[int] = None,
+) -> FrameTemplate:
+    """Classify the variables of a finished scratch blast into a template.
+
+    The blast must have stamped every signal with ``@0`` (current frame) or
+    ``@1`` (next frame); anything the blaster did not allocate as a named bit
+    is an internal gate output.
+    """
+    cur: List[RoleEntry] = []
+    nxt: List[RoleEntry] = []
+    inp: List[RoleEntry] = []
+    for full_name, bits in blaster.var_bit_table().items():
+        base, _, tag = full_name.rpartition("@")
+        frame = int(tag)
+        entry = (base, len(bits), bits)
+        if base in flat.state_vars:
+            if frame == 0:
+                cur.append(entry)
+            else:
+                nxt.append(entry)
+        elif base in flat.inputs:
+            if frame != 0:
+                raise AssertionError(
+                    f"input {base!r} blasted at frame {frame} during template capture"
+                )
+            inp.append(entry)
+        else:
+            raise AssertionError(
+                f"unknown signal {base!r} during template capture"
+            )
+    return _finalize_template(
+        cnf.clauses, cnf.num_vars, cur, nxt, inp, blaster.true_var, output
+    )
+
+
+def _build_word_trans_template(flat: TransitionSystem) -> FrameTemplate:
+    """Blast the word-level transition relation (frame 0 -> 1) once."""
+    cnf = CNF()
+    blaster = BitBlaster(cnf)
+    for name, next_expr in flat.next.items():
+        stamped = rename(next_expr, lambda n: frame_name(n, 0))
+        target = bv_var(frame_name(name, 1), flat.state_vars[name])
+        blaster.assert_true(bv_eq(target, stamped))
+    for constraint in flat.constraints:
+        blaster.assert_true(rename(constraint, lambda n: frame_name(n, 0)))
+    return _capture_word_blast(flat, cnf, blaster)
+
+
+def _build_word_property_template(flat: TransitionSystem, property_name: str) -> FrameTemplate:
+    """Blast one property once; ``output`` is its truth literal."""
+    prop = flat.property_by_name(property_name)
+    cnf = CNF()
+    blaster = BitBlaster(cnf)
+    literal = blaster.blast_bool(rename(prop.expr, lambda n: frame_name(n, 0)))
+    return _capture_word_blast(flat, cnf, blaster, output=literal)
+
+
+def _aig_cone(aig: AIG, roots: Iterable[int]) -> List[int]:
+    """Return the AND nodes feeding ``roots``, in topological (index) order."""
+    needed: set = set()
+    stack = [root & ~1 for root in roots]
+    while stack:
+        node = stack.pop()
+        if node in needed or node not in aig.ands:
+            continue
+        needed.add(node)
+        left, right = aig.ands[node]
+        stack.append(left & ~1)
+        stack.append(right & ~1)
+    return sorted(needed)
+
+
+class _AigTemplateBuilder:
+    """Shared scaffolding for capturing AIG cones as frame templates."""
+
+    def __init__(self, flat: TransitionSystem, aig: AIG) -> None:
+        self.flat = flat
+        self.aig = aig
+
+    def _fresh(self) -> Tuple[CNF, TseitinEncoder, Dict[int, int], List[RoleEntry], List[RoleEntry]]:
+        """Allocate a scratch CNF with input/latch leaves mapped to fresh vars."""
+        cnf = CNF()
+        encoder = TseitinEncoder(cnf)
+        mapping: Dict[int, int] = {0: encoder.false_lit}
+        aig = self.aig
+        input_bits: Dict[str, List[int]] = {name: [0] * width for name, width in self.flat.inputs.items()}
+        for literal in aig.inputs:
+            base, index = aig.input_names[literal].rsplit("[", 1)
+            bit_index = int(index[:-1])
+            var = encoder.new_var()
+            mapping[literal] = var
+            input_bits[base][bit_index] = var
+        latch_bits: Dict[str, List[int]] = {name: [0] * width for name, width in self.flat.state_vars.items()}
+        for latch in aig.latches:
+            base, index = latch.name.rsplit("[", 1)
+            bit_index = int(index[:-1])
+            var = encoder.new_var()
+            mapping[latch.literal] = var
+            latch_bits[base][bit_index] = var
+        cur = [(name, len(bits), tuple(bits)) for name, bits in latch_bits.items()]
+        inp = [(name, len(bits), tuple(bits)) for name, bits in input_bits.items()]
+        return cnf, encoder, mapping, cur, inp
+
+    def _encode_cone(
+        self, encoder: TseitinEncoder, mapping: Dict[int, int], roots: Iterable[int]
+    ):
+        """Encode the AND cones of ``roots``; returns the literal resolver."""
+        aig = self.aig
+
+        def resolved(literal: int) -> int:
+            sat = mapping[literal & ~1]
+            return -sat if aig_is_negated(literal) else sat
+
+        for node in _aig_cone(aig, roots):
+            left, right = aig.ands[node]
+            mapping[node] = encoder.and_gate([resolved(left), resolved(right)])
+        return resolved
+
+    def trans_template(self) -> FrameTemplate:
+        """Capture the latch-update cones plus next-state equalities."""
+        cnf, encoder, mapping, cur, inp = self._fresh()
+        aig = self.aig
+        resolved = self._encode_cone(
+            encoder, mapping, [latch.next_literal for latch in aig.latches]
+        )
+        next_bits: Dict[str, List[int]] = {
+            name: [0] * width for name, width in self.flat.state_vars.items()
+        }
+        for latch in aig.latches:
+            base, index = latch.name.rsplit("[", 1)
+            bit_index = int(index[:-1])
+            next_var = encoder.new_var()
+            next_bits[base][bit_index] = next_var
+            encoder.assert_equal(next_var, resolved(latch.next_literal))
+        nxt = [(name, len(bits), tuple(bits)) for name, bits in next_bits.items()]
+        return self._capture(cnf, encoder, cur, nxt, inp, output=None)
+
+    def property_template(self, property_name: str) -> FrameTemplate:
+        """Capture the bad-state cone of one property; ``output`` is P itself."""
+        cnf, encoder, mapping, cur, inp = self._fresh()
+        bad_literal = None
+        for name, bad in self.aig.bad:
+            if name == property_name:
+                bad_literal = bad
+                break
+        if bad_literal is None:
+            raise KeyError(f"property {property_name!r} not found in the AIG")
+        resolved = self._encode_cone(encoder, mapping, [bad_literal])
+        return self._capture(
+            cnf, encoder, cur, [], inp, output=-resolved(bad_literal)
+        )
+
+    def _capture(self, cnf, encoder, cur, nxt, inp, output) -> FrameTemplate:
+        return _finalize_template(
+            cnf.clauses, cnf.num_vars, cur, nxt, inp, encoder.true_var, output
+        )
+
+
+def _system_fingerprint(system: TransitionSystem) -> int:
+    """A cheap content hash of a design, used to invalidate cached templates.
+
+    Expression nodes cache their hashes, so this is O(number of declared
+    signals), not O(expression size).
+    """
+    return hash(
+        (
+            tuple(system.inputs.items()),
+            tuple(system.state_vars.items()),
+            tuple(sorted((name, system.init[name]) for name in system.init)),
+            tuple(sorted((name, system.next[name]) for name in system.next)),
+            tuple(system.constraints),
+            tuple((prop.name, prop.expr) for prop in system.properties),
+            tuple(system.wires.items()),
+        )
+    )
+
+
+class TemplateLibrary:
+    """The one-time blasting artifacts of a ``(system, representation)`` pair.
+
+    Holds the flattened system, the transition-relation template and lazily
+    built per-property templates (plus the AIG for the bit-level flow).
+    Obtained through :func:`template_library`, which memoizes per system so
+    that every engine and every encoder instance built on the same design
+    shares the same blast; a content fingerprint invalidates the cache if
+    the design object is mutated between runs.
+    """
+
+    def __init__(self, system: TransitionSystem, representation: str) -> None:
+        self.representation = representation
+        self.fingerprint = _system_fingerprint(system)
+        self.flat = system.flattened()
+        self.flat.validate()
+        self.aig: Optional[AIG] = None
+        self._property_templates: Dict[str, FrameTemplate] = {}
+        if representation == "bit":
+            self.aig = aig_from_transition_system(system)
+            self._builder = _AigTemplateBuilder(self.flat, self.aig)
+            self.trans_template = self._builder.trans_template()
+        else:
+            self._builder = None
+            self.trans_template = _build_word_trans_template(self.flat)
+
+    def property_template(self, property_name: str) -> FrameTemplate:
+        template = self._property_templates.get(property_name)
+        if template is None:
+            if self._builder is not None:
+                template = self._builder.property_template(property_name)
+            else:
+                template = _build_word_property_template(self.flat, property_name)
+            self._property_templates[property_name] = template
+        return template
+
+
+#: system -> {representation -> TemplateLibrary}; weak keys so that designs
+#: built on the fly (tests, benchmarks harness) do not accumulate forever
+_TEMPLATE_LIBRARIES: "weakref.WeakKeyDictionary[TransitionSystem, Dict[str, TemplateLibrary]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def template_library(system: TransitionSystem, representation: str) -> TemplateLibrary:
+    """Return (building and caching if needed) the template library of a design."""
+    per_system = _TEMPLATE_LIBRARIES.get(system)
+    if per_system is None:
+        per_system = {}
+        _TEMPLATE_LIBRARIES[system] = per_system
+    library = per_system.get(representation)
+    if library is None or library.fingerprint != _system_fingerprint(system):
+        library = TemplateLibrary(system, representation)
+        per_system[representation] = library
+    return library
+
+
 class FrameEncoder:
-    """Unrolls a transition system into a :class:`repro.smt.BVSolver`."""
+    """Unrolls a transition system into a :class:`repro.smt.BVSolver`.
+
+    With ``incremental_template=True`` (the default) frames are instantiated
+    from cached :class:`FrameTemplate` objects by literal remapping; with
+    ``False`` the legacy per-frame expression re-blast is used.  The two paths
+    are frame-by-frame equisatisfiable.
+    """
 
     def __init__(
         self,
@@ -42,18 +483,27 @@ class FrameEncoder:
         solver: Optional[BVSolver] = None,
         proof: bool = False,
         representation: str = "word",
+        incremental_template: bool = True,
     ) -> None:
         if representation not in ("word", "bit"):
             raise ValueError("representation must be 'word' or 'bit'")
         self.system = system
-        self.flat = system.flattened()
-        self.flat.validate()
-        self.solver = solver if solver is not None else BVSolver(proof=proof)
         self.representation = representation
+        self.incremental_template = bool(incremental_template)
+        self.solver = solver if solver is not None else BVSolver(proof=proof)
         self._aig: Optional[AIG] = None
         self._aig_frame_literals: Dict[int, Dict[int, int]] = {}
-        if representation == "bit":
-            self._aig = aig_from_transition_system(system)
+        self._library: Optional[TemplateLibrary] = None
+        self._property_literal_cache: Dict[Tuple[str, int], int] = {}
+        if self.incremental_template:
+            self._library = template_library(system, representation)
+            self.flat = self._library.flat
+            self._aig = self._library.aig
+        else:
+            self.flat = system.flattened()
+            self.flat.validate()
+            if representation == "bit":
+                self._aig = aig_from_transition_system(system)
 
     # ------------------------------------------------------------------
     # naming helpers
@@ -105,18 +555,67 @@ class FrameEncoder:
         return [self.rename_to_frame(c, frame) for c in self.flat.constraints]
 
     # ------------------------------------------------------------------
+    # template instantiation
+    # ------------------------------------------------------------------
+    def _stamp(self, template: FrameTemplate, frame: int) -> List[int]:
+        """Instantiate ``template`` at ``frame``; returns the offset table.
+
+        The table maps template variables to solver variables: named roles go
+        through the shared frame-stamped bit allocations of the blaster (so
+        consecutive frames connect and models read back normally), internal
+        gate outputs get a fresh contiguous block.  Clause loading goes
+        through the solver's bulk fast path.
+        """
+        blaster = self.solver.blaster
+        sat = self.solver.solver
+        table = [0] * (template.num_vars + 1)
+        if template.true_var is not None:
+            table[template.true_var] = blaster.encoder.true_lit
+        for name, width, template_vars in template.cur:
+            bits = blaster.bits_of_var(frame_name(name, frame), width)
+            for template_var, bit in zip(template_vars, bits):
+                table[template_var] = bit
+        for name, width, template_vars in template.inp:
+            bits = blaster.bits_of_var(frame_name(name, frame), width)
+            for template_var, bit in zip(template_vars, bits):
+                table[template_var] = bit
+        for name, width, template_vars in template.nxt:
+            bits = blaster.bits_of_var(frame_name(name, frame + 1), width)
+            for template_var, bit in zip(template_vars, bits):
+                table[template_var] = bit
+        internal = template.internal
+        if internal:
+            first = sat.new_vars(len(internal))[0]
+            base = internal[0]  # == named_count + 1 after canonical renumbering
+            for offset, template_var in enumerate(internal):
+                table[template_var] = first + offset
+            # gate clauses mention only the fresh contiguous block: remap by
+            # constant offset, no table lookups, no assignment checks
+            sat.add_fresh_clauses(template.gate_clauses, first - base)
+        sat.add_clauses_mapped(template.boundary_clauses, table)
+        return table
+
+    # ------------------------------------------------------------------
     # assertion into the solver
     # ------------------------------------------------------------------
     def assert_init(self, frame: int = 0) -> Tuple[int, int]:
         """Assert the initial state at ``frame``; returns the clause-id range."""
         if self.representation == "bit":
             start = self.solver.solver.num_clauses
-            self._assert_aig_init(frame)
+            if self.incremental_template:
+                self._assert_bit_init_direct(frame)
+            else:
+                self._assert_aig_init(frame)
             return start, self.solver.solver.num_clauses
         return self.solver.assert_exprs(self.init_exprs(frame))
 
     def assert_trans(self, frame: int) -> Tuple[int, int]:
         """Assert the transition from ``frame`` to ``frame + 1``; returns clause ids."""
+        if self.incremental_template:
+            assert self._library is not None
+            start = self.solver.solver.num_clauses
+            self._stamp(self._library.trans_template, frame)
+            return start, self.solver.solver.num_clauses
         if self.representation == "bit":
             start = self.solver.solver.num_clauses
             self._assert_aig_trans(frame)
@@ -125,12 +624,35 @@ class FrameEncoder:
 
     def property_literal(self, property_name: str, frame: int) -> int:
         """Return a SAT literal equivalent to the property holding at ``frame``."""
+        if self.incremental_template:
+            assert self._library is not None
+            key = (property_name, frame)
+            cached = self._property_literal_cache.get(key)
+            if cached is not None:
+                return cached
+            template = self._library.property_template(property_name)
+            table = self._stamp(template, frame)
+            output = template.output
+            assert output is not None
+            literal = table[output] if output > 0 else -table[-output]
+            self._property_literal_cache[key] = literal
+            return literal
         if self.representation == "bit":
             return self._aig_property_literal(property_name, frame)
         return self.solver.literal_for(self.property_expr(property_name, frame))
 
+    def _assert_bit_init_direct(self, frame: int) -> None:
+        """Unit-clause the reset values onto the frame-stamped register bits."""
+        blaster = self.solver.blaster
+        sat = self.solver.solver
+        for name, width in self.flat.state_vars.items():
+            value = evaluate(self.flat.init[name], {})
+            bits = blaster.bits_of_var(frame_name(name, frame), width)
+            for index, bit in enumerate(bits):
+                sat.add_clause([bit if (value >> index) & 1 else -bit])
+
     # ------------------------------------------------------------------
-    # AIG (bit-level) encoding
+    # AIG (bit-level) legacy encoding
     # ------------------------------------------------------------------
     def _aig_frame(self, frame: int) -> Dict[int, int]:
         """Return (creating if needed) the leaf mapping of one time frame.

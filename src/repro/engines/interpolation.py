@@ -57,12 +57,14 @@ class InterpolationEngine:
         max_depth: int = 64,
         max_iterations: int = 200,
         representation: str = "word",
+        incremental_template: bool = True,
     ) -> None:
         self.system = system
         self.initial_depth = max(1, initial_depth)
         self.max_depth = max_depth
         self.max_iterations = max_iterations
         self.representation = representation
+        self.incremental_template = incremental_template
 
     # ------------------------------------------------------------------
     def verify(
@@ -137,7 +139,11 @@ class InterpolationEngine:
         self, property_name: str, budget: Budget
     ) -> Optional[VerificationResult]:
         """Return an UNSAFE/TIMEOUT result if the property already fails at cycle 0."""
-        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
         encoder.solver.set_deadline(budget.deadline)
         encoder.assert_init(0)
         literal = encoder.property_literal(property_name, 0)
@@ -171,7 +177,10 @@ class InterpolationEngine:
         expression over the *unstamped* state variables.
         """
         encoder = FrameEncoder(
-            self.system, proof=True, representation=self.representation
+            self.system,
+            proof=True,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
         )
         solver = encoder.solver
         solver.set_deadline(budget.deadline)

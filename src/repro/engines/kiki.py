@@ -40,12 +40,14 @@ class KikiEngine:
         simple_path: bool = False,
         representation: str = "word",
         use_intervals: bool = True,
+        incremental_template: bool = True,
     ) -> None:
         self.system = system
         self.max_k = max_k
         self.simple_path = simple_path
         self.representation = representation
         self.use_intervals = use_intervals
+        self.incremental_template = incremental_template
 
     def verify(
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
@@ -86,6 +88,7 @@ class KikiEngine:
             simple_path=self.simple_path,
             representation=self.representation,
             strengthening_invariants=invariants,
+            incremental_template=self.incremental_template,
         )
         result = engine.verify(property_name, timeout=budget.remaining())
         result = VerificationResult(
@@ -114,7 +117,11 @@ class KikiEngine:
         while certified:
             if budget.expired():
                 return []
-            encoder = FrameEncoder(self.system, representation=self.representation)
+            encoder = FrameEncoder(
+                self.system,
+                representation=self.representation,
+                incremental_template=self.incremental_template,
+            )
             encoder.solver.set_deadline(budget.deadline)
             for invariant in certified:
                 encoder.solver.assert_expr(encoder.rename_to_frame(invariant, 0))

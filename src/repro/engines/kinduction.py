@@ -37,11 +37,13 @@ class KInductionEngine:
         simple_path: bool = True,
         representation: str = "word",
         strengthening_invariants: Optional[Iterable[Expr]] = None,
+        incremental_template: bool = True,
     ) -> None:
         self.system = system
         self.max_k = max_k
         self.simple_path = simple_path
         self.representation = representation
+        self.incremental_template = incremental_template
         #: extra invariants over (unstamped) state variables assumed in every frame
         self.strengthening_invariants: List[Expr] = list(strengthening_invariants or [])
 
@@ -54,12 +56,20 @@ class KInductionEngine:
         start = time.monotonic()
 
         # Base-case solver: Init at frame 0, unrolled forward.
-        base = FrameEncoder(self.system, representation=self.representation)
+        base = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
         base.solver.set_deadline(budget.deadline)
         base.assert_init(0)
 
         # Step-case solver: arbitrary start state, property assumed along the window.
-        step = FrameEncoder(self.system, representation=self.representation)
+        step = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
         step.solver.set_deadline(budget.deadline)
         self._assert_invariants(step, 0)
 

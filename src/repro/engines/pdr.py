@@ -44,11 +44,13 @@ class PDREngine:
         max_frames: int = 200,
         representation: str = "word",
         generalize_passes: int = 1,
+        incremental_template: bool = True,
     ) -> None:
         self.system = system
         self.max_frames = max_frames
         self.representation = representation
         self.generalize_passes = generalize_passes
+        self.incremental_template = incremental_template
 
     # ------------------------------------------------------------------
     def verify(
@@ -70,7 +72,11 @@ class PDREngine:
 
     # ------------------------------------------------------------------
     def _run(self, property_name: str, budget: Budget, start: float) -> VerificationResult:
-        encoder = FrameEncoder(self.system, representation=self.representation)
+        encoder = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
         solver = encoder.solver
         solver.set_deadline(budget.deadline)
         self._encoder = encoder
@@ -332,6 +338,7 @@ class PDREngine:
             self.system,
             max_bound=self._frame_count + 1,
             representation=self.representation,
+            incremental_template=self.incremental_template,
         )
         result = bmc.verify(property_name, timeout=self._budget.remaining())
         return result.counterexample

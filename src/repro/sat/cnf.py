@@ -67,6 +67,29 @@ class CNF:
         for clause in clauses:
             self.add_clause(clause)
 
+    def add_clauses_mapped(
+        self, clauses: Iterable[Sequence[int]], table: Sequence[int]
+    ) -> None:
+        """Bulk-append clauses remapped through a variable table.
+
+        ``table[v]`` gives the target (positive) variable for source variable
+        ``v``; a literal ``l`` maps to ``table[l]`` when positive and
+        ``-table[-l]`` when negative.  The clauses are assumed pre-validated
+        (no zero literals), so the per-literal checks of :meth:`add_clause`
+        are skipped.  Portable-container mirror of
+        :meth:`repro.sat.solver.Solver.add_clauses_mapped` (which is the path
+        the frame templates actually stamp through); useful when an unrolled
+        frame must land in a standalone CNF, e.g. for DIMACS export.
+        """
+        top = 0
+        for var in table:
+            if var > top:
+                top = var
+        self.ensure_var(top)
+        append = self.clauses.append
+        for clause in clauses:
+            append(tuple(table[l] if l > 0 else -table[-l] for l in clause))
+
     def extend_from(self, other: "CNF") -> None:
         """Append all clauses of ``other`` (variable numbering must be shared)."""
         self.num_vars = max(self.num_vars, other.num_vars)

@@ -43,12 +43,19 @@ class SolverStats:
 
 
 def luby(index: int) -> int:
-    """Return the ``index``-th element (1-based) of the Luby restart sequence."""
+    """Return the ``index``-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...:
+    whenever ``index`` is ``2**k - 1`` the value is ``2**(k - 1)``, otherwise
+    recurse on ``index - (2**k - 1)`` for the largest such block below it.
+    (The original recurrence subtracted ``2**(k - 1) - 1``, which loops
+    forever for ``index == 2`` — any solve reaching its second restart hung.)
+    """
     k = 1
     while (1 << (k + 1)) - 1 <= index:
         k += 1
     while index != (1 << k) - 1:
-        index = index - (1 << (k - 1)) + 1
+        index -= (1 << k) - 1
         k = 1
         while (1 << (k + 1)) - 1 <= index:
             k += 1
@@ -93,7 +100,12 @@ class Solver:
         self._phase: List[bool] = [False]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
-        self._watches: Dict[int, List[int]] = {}
+        # watch lists indexed by literal: literal l occupies slot 2*|l| (+1 if
+        # negative), so propagation is pure list indexing, no dict churn
+        self._watches: List[List[int]] = [[], []]
+        # literal-indexed truth values (same indexing): 0 unassigned,
+        # 1 true, -1 false; kept in sync by _enqueue/_cancel_until
+        self._lit_value: List[int] = [0, 0]
         self._queue_head = 0
         self._order_heap: List[Tuple[float, int]] = []
 
@@ -115,8 +127,36 @@ class Solver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        self._lit_value.append(0)
+        self._lit_value.append(0)
         heapq.heappush(self._order_heap, (0.0, self._num_vars))
         return self._num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables; returns them as a contiguous block.
+
+        Bulk-extends the per-variable arrays instead of growing them one
+        variable at a time; frame-template instantiation allocates its
+        internal gate variables through this.
+        """
+        if count <= 0:
+            return []
+        first = self._num_vars + 1
+        self._num_vars += count
+        self._assign.extend([None] * count)
+        self._level.extend([0] * count)
+        self._reason.extend([None] * count)
+        self._activity.extend([0.0] * count)
+        self._phase.extend([False] * count)
+        self._watches.extend([] for _ in range(2 * count))
+        self._lit_value.extend([0] * (2 * count))
+        heap = self._order_heap
+        fresh = list(range(first, first + count))
+        for var in fresh:
+            heapq.heappush(heap, (0.0, var))
+        return fresh
 
     def ensure_vars(self, num_vars: int) -> None:
         """Make sure variables ``1..num_vars`` exist."""
@@ -155,23 +195,127 @@ class Solver:
                 raise ValueError("literal 0 is not allowed in a clause")
             self.ensure_vars(var_of(lit))
 
+        if any(-lit in clause for lit in clause):
+            # tautology: satisfied by every assignment, never needs watching
+            cid = len(self._clauses)
+            self._clauses.append(clause)
+            self._clause_learned.append(False)
+            self.clause_proof.append(None)
+            return cid
+
+        return self._install_clause(clause)
+
+    def add_clauses_mapped(self, clauses: Iterable[Sequence[int]], table: Sequence[int]) -> Tuple[int, int]:
+        """Bulk-add pre-normalized clauses remapped through a variable table.
+
+        ``table[v]`` is the (positive) solver variable standing in for
+        variable ``v`` of the clause set; literal ``l`` maps to ``table[l]``
+        when positive and ``-table[-l]`` when negative.  This is the fast path
+        used by :class:`repro.engines.encoding.FrameTemplate` to stamp a
+        bit-blasted time-frame template into the solver with pure integer
+        arithmetic.  The clauses must already be normalized (non-empty, no
+        duplicate literals, no tautologies), so the per-clause Python overhead
+        of :meth:`add_clause` (dedupe, tautology scan, per-literal variable
+        growth) is skipped.  Returns the covering (start, end) clause-id range.
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        top = 0
+        for solver_var in table:
+            if solver_var > top:
+                top = solver_var
+        self.ensure_vars(top)
+
+        clause_db = self._clauses
+        learned = self._clause_learned
+        proofs = self.clause_proof
+        lit_value = self._lit_value
+        watches = self._watches
+        start = len(clause_db)
+        ok = self._ok
+        for template_clause in clauses:
+            mapped = [table[l] if l > 0 else -table[-l] for l in template_clause]
+            cid = len(clause_db)
+            clause_db.append(mapped)
+            learned.append(False)
+            proofs.append(None)
+            if not ok:
+                continue
+            if len(mapped) >= 2:
+                # fast path: both watch candidates non-false (the common case,
+                # template clauses mostly mention fresh internal variables)
+                a = mapped[0]
+                b = mapped[1]
+                if (
+                    lit_value[(a << 1) if a > 0 else (((-a) << 1) | 1)] >= 0
+                    and lit_value[(b << 1) if b > 0 else (((-b) << 1) | 1)] >= 0
+                ):
+                    watches[((-a) << 1) if a < 0 else ((a << 1) | 1)].append(cid)
+                    watches[((-b) << 1) if b < 0 else ((b << 1) | 1)].append(cid)
+                    continue
+            self._finish_install(cid)
+            ok = self._ok
+        return start, len(clause_db)
+
+    def add_fresh_clauses(self, clauses: Iterable[Sequence[int]], delta: int) -> Tuple[int, int]:
+        """Bulk-add clauses whose variables are all freshly allocated.
+
+        Every literal is shifted by ``delta`` (``l + delta`` positive,
+        ``l - delta`` negative); the target variables must have just been
+        allocated with :meth:`new_vars` and still be unassigned, and every
+        clause must have at least two literals.  Under those guarantees the
+        watched-literal invariant holds for the first two literals with no
+        value checks at all — this is the hottest path of frame-template
+        instantiation (the internal Tseitin gate clauses of a frame).
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        clause_db = self._clauses
+        watches = self._watches
+        start = len(clause_db)
+        mapped_all = [
+            [l + delta if l > 0 else l - delta for l in template_clause]
+            for template_clause in clauses
+        ]
+        clause_db.extend(mapped_all)
+        count = len(mapped_all)
+        self._clause_learned.extend([False] * count)
+        self.clause_proof.extend([None] * count)
+        if self._ok:
+            cid = start
+            for mapped in mapped_all:
+                a = mapped[0]
+                b = mapped[1]
+                watches[((-a) << 1) if a < 0 else ((a << 1) | 1)].append(cid)
+                watches[((-b) << 1) if b < 0 else ((b << 1) | 1)].append(cid)
+                cid += 1
+        return start, len(clause_db)
+
+    def _install_clause(self, clause: List[int]) -> int:
+        """Install a normalized clause (deduped, non-tautological, vars allocated).
+
+        The solver must be at decision level 0.  Shared by :meth:`add_clause`
+        and :meth:`add_clauses_mapped`.
+        """
         cid = len(self._clauses)
         self._clauses.append(clause)
         self._clause_learned.append(False)
         self.clause_proof.append(None)
+        self._finish_install(cid)
+        return cid
 
-        if any(-lit in clause for lit in clause):
-            # tautology: satisfied by every assignment, never needs watching
-            return cid
+    def _finish_install(self, cid: int) -> None:
+        """Set up watches/propagation for an already-appended original clause."""
+        clause = self._clauses[cid]
 
         if not clause:
             self._ok = False
             if self.proof_logging:
                 self.final_proof = ((cid,), ())
-            return cid
+            return
 
         if not self._ok:
-            return cid
+            return
 
         # Move non-false literals to the watch positions so that the
         # watched-literal invariant holds even for clauses containing
@@ -181,7 +325,7 @@ class Solver:
             self._ok = False
             if self.proof_logging:
                 self.final_proof = self._derive_empty_from_conflict(cid)
-            return cid
+            return
         if len(non_false) == 1 or len(clause) == 1:
             unit_lit = clause[non_false[0]]
             if len(clause) >= 2:
@@ -194,7 +338,7 @@ class Solver:
                     self._ok = False
                     if self.proof_logging:
                         self.final_proof = self._derive_empty_from_conflict(conflict)
-            return cid
+            return
 
         first, second = non_false[0], non_false[1]
         clause[0], clause[first] = clause[first], clause[0]
@@ -202,7 +346,6 @@ class Solver:
             second = first
         clause[1], clause[second] = clause[second], clause[1]
         self._watch_clause(cid)
-        return cid
 
     def clause_literals(self, cid: int) -> Tuple[int, ...]:
         """Return the literals of clause ``cid``."""
@@ -216,16 +359,23 @@ class Solver:
     # assignment helpers
     # ------------------------------------------------------------------
     def _value(self, lit: int) -> Optional[bool]:
-        assigned = self._assign[var_of(lit)]
-        if assigned is None:
+        value = self._lit_value[(lit << 1) if lit > 0 else (((-lit) << 1) | 1)]
+        if value == 0:
             return None
-        return assigned if lit > 0 else not assigned
+        return value > 0
 
     def _enqueue(self, lit: int, reason: Optional[int]) -> None:
-        var = var_of(lit)
+        var = lit if lit > 0 else -lit
         self._assign[var] = lit > 0
         self._level[var] = self._decision_level()
         self._reason[var] = reason
+        index = var << 1
+        if lit > 0:
+            self._lit_value[index] = 1
+            self._lit_value[index | 1] = -1
+        else:
+            self._lit_value[index] = -1
+            self._lit_value[index | 1] = 1
         self._trail.append(lit)
 
     def _decision_level(self) -> int:
@@ -238,11 +388,15 @@ class Solver:
         if self._decision_level() <= level:
             return
         limit = self._trail_lim[level]
+        lit_value = self._lit_value
         for lit in reversed(self._trail[limit:]):
-            var = var_of(lit)
+            var = lit if lit > 0 else -lit
             self._phase[var] = bool(self._assign[var])  # phase saving
             self._assign[var] = None
             self._reason[var] = None
+            index = var << 1
+            lit_value[index] = 0
+            lit_value[index | 1] = 0
             heapq.heappush(self._order_heap, (-self._activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
@@ -253,31 +407,39 @@ class Solver:
     # ------------------------------------------------------------------
     def _watch_clause(self, cid: int) -> None:
         clause = self._clauses[cid]
-        self._watches.setdefault(-clause[0], []).append(cid)
+        lit = -clause[0]
+        self._watches[(lit << 1) if lit > 0 else (((-lit) << 1) | 1)].append(cid)
         if len(clause) >= 2:
-            self._watches.setdefault(-clause[1], []).append(cid)
+            lit = -clause[1]
+            self._watches[(lit << 1) if lit > 0 else (((-lit) << 1) | 1)].append(cid)
 
     def _propagate(self) -> Optional[int]:
         """Propagate all enqueued literals; return a conflicting clause id or None."""
-        while self._queue_head < len(self._trail):
-            lit = self._trail[self._queue_head]
+        trail = self._trail
+        clauses = self._clauses
+        watches = self._watches
+        lit_value = self._lit_value
+        while self._queue_head < len(trail):
+            lit = trail[self._queue_head]
             self._queue_head += 1
             self.stats.propagations += 1
-            watchers = self._watches.get(lit)
+            watch_index = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+            watchers = watches[watch_index]
             if not watchers:
                 continue
             new_watchers: List[int] = []
             conflict: Optional[int] = None
             i = 0
             n = len(watchers)
+            false_lit = -lit
             while i < n:
                 cid = watchers[i]
                 i += 1
-                clause = self._clauses[cid]
-                false_lit = -lit
+                clause = clauses[cid]
                 if len(clause) == 1:
                     new_watchers.append(cid)
-                    if self._value(clause[0]) is False:
+                    only = clause[0]
+                    if lit_value[(only << 1) if only > 0 else (((-only) << 1) | 1)] < 0:
                         new_watchers.extend(watchers[i:])
                         conflict = cid
                         break
@@ -286,26 +448,28 @@ class Solver:
                     clause[0], clause[1] = clause[1], clause[0]
                 # now clause[1] == false_lit
                 first = clause[0]
-                if self._value(first) is True:
+                first_value = lit_value[(first << 1) if first > 0 else (((-first) << 1) | 1)]
+                if first_value > 0:
                     new_watchers.append(cid)
                     continue
                 found = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) is not False:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches.setdefault(-clause[1], []).append(cid)
+                    other = clause[k]
+                    if lit_value[(other << 1) if other > 0 else (((-other) << 1) | 1)] >= 0:
+                        clause[1], clause[k] = other, clause[1]
+                        watches[((-other) << 1) if other < 0 else ((other << 1) | 1)].append(cid)
                         found = True
                         break
                 if found:
                     continue
                 # clause is unit or conflicting
                 new_watchers.append(cid)
-                if self._value(first) is False:
+                if first_value < 0:
                     new_watchers.extend(watchers[i:])
                     conflict = cid
                     break
                 self._enqueue(first, cid)
-            self._watches[lit] = new_watchers
+            watches[watch_index] = new_watchers
             if conflict is not None:
                 return conflict
         return None
@@ -314,13 +478,16 @@ class Solver:
     # conflict analysis
     # ------------------------------------------------------------------
     def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for v in range(1, self._num_vars + 1):
-                self._activity[v] *= 1e-100
+        activity = self._activity
+        activity[var] += self._var_inc
+        if activity[var] > 1e100:
+            # rescale in place over exactly the allocated vars (the activity
+            # list has one slot per variable), no index arithmetic
+            self._activity = [a * 1e-100 for a in activity]
+            activity = self._activity
             self._var_inc *= 1e-100
         if self._assign[var] is None:
-            heapq.heappush(self._order_heap, (-self._activity[var], var))
+            heapq.heappush(self._order_heap, (-activity[var], var))
 
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay

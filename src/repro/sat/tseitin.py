@@ -51,6 +51,15 @@ class TseitinEncoder:
         """A literal constrained to be false."""
         return -self.true_lit
 
+    @property
+    def true_var(self) -> Optional[int]:
+        """The constant-true variable if it has been allocated, else None.
+
+        Unlike :attr:`true_lit` this never allocates; template capture uses it
+        to tell the constant apart from internal gate variables.
+        """
+        return self._true_lit
+
     def const_lit(self, value: bool) -> int:
         """Return the constant literal for ``value``."""
         return self.true_lit if value else self.false_lit

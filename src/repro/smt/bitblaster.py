@@ -98,6 +98,22 @@ class BitBlaster:
                 result[bit_var] = (name, index)
         return result
 
+    def var_bit_table(self) -> Dict[str, Tuple[int, ...]]:
+        """Return the full symbol table: variable name -> its SAT bit variables.
+
+        Bits are LSB first, exactly as allocated by :meth:`bits_of_var`.  The
+        frame-template capture in :mod:`repro.engines.encoding` uses this to
+        classify every blasted variable as a current-state, next-state or
+        input bit; everything not listed here (and not :attr:`true_var`) is an
+        internal Tseitin gate output.
+        """
+        return {name: tuple(bits) for name, bits in self._var_bits.items()}
+
+    @property
+    def true_var(self) -> Optional[int]:
+        """The constant-true SAT variable, or None if it was never needed."""
+        return self._encoder.true_var
+
     def const_bits(self, value: int, width: int) -> List[int]:
         """Return constant literals for ``value`` over ``width`` bits."""
         return [

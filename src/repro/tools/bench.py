@@ -1,0 +1,279 @@
+"""Benchmarking harness for the template-unrolling subsystem.
+
+Run with ``python -m repro.tools.bench`` (or the ``repro-bench`` console
+script).  For each selected benchmark the harness unrolls BMC to a fixed
+depth twice — once through the :class:`repro.engines.encoding.FrameTemplate`
+fast path and once through the legacy per-frame re-blast
+(``incremental_template=False``) — timing the *encode* phase (transition /
+property instantiation) separately from the *solve* phase (the SAT checks),
+and asserting that the two paths return identical verdicts.  A second section
+runs the unbounded engines (k-induction, interpolation, kIkI, PDR) end to end
+on both paths.
+
+Results are written to ``BENCH_unroll.json`` so that successive performance
+PRs have a trajectory to compare against: the ``summary`` section records the
+per-benchmark encode+solve speedups, the count of benchmarks at or above the
+3x target, and whether every verdict pair matched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.benchmarks import benchmark_names, get_benchmark
+from repro.engines.bmc import BMCEngine
+from repro.engines.encoding import FrameEncoder
+from repro.engines.interpolation import InterpolationEngine
+from repro.engines.kiki import KikiEngine
+from repro.engines.kinduction import KInductionEngine
+from repro.engines.pdr import PDREngine
+from repro.smt import BVResult
+
+#: default designs for the deep-unroll comparison (encode-dominated datapaths)
+DEFAULT_BMC_BENCHMARKS = ["mac16", "barrel16", "huffman_enc", "daio"]
+#: default designs for the end-to-end engine comparison (small control logic)
+DEFAULT_ENGINE_BENCHMARKS = ["huffman_dec", "proc3", "buffalloc", "arbiter"]
+
+ENGINE_FACTORIES = {
+    "k-induction": lambda system, template: KInductionEngine(
+        system, max_k=16, incremental_template=template
+    ),
+    "interpolation": lambda system, template: InterpolationEngine(
+        system, incremental_template=template
+    ),
+    "kiki": lambda system, template: KikiEngine(
+        system, max_k=16, incremental_template=template
+    ),
+    "pdr": lambda system, template: PDREngine(system, incremental_template=template),
+}
+
+
+def profile_bmc_unroll(
+    system,
+    property_name: Optional[str],
+    depth: int,
+    representation: str,
+    incremental_template: bool,
+) -> Dict[str, object]:
+    """Unroll BMC to ``depth``, timing encode and solve separately.
+
+    Mirrors :class:`repro.engines.bmc.BMCEngine` exactly (same queries in the
+    same order) so the verdict comparison is meaningful, but keeps its own
+    stopwatch around the encode calls (``assert_trans`` / ``property_literal``)
+    versus the solve calls (``check``).
+    """
+    start = time.monotonic()
+    encoder = FrameEncoder(
+        system,
+        representation=representation,
+        incremental_template=incremental_template,
+    )
+    encoder.assert_init(0)
+    setup_s = time.monotonic() - start
+    if property_name is None:
+        property_name = system.properties[0].name
+
+    encode_s = 0.0
+    solve_s = 0.0
+    verdict = "unknown"
+    bound_reached = depth
+    for bound in range(depth + 1):
+        t0 = time.monotonic()
+        literal = encoder.property_literal(property_name, bound)
+        encode_s += time.monotonic() - t0
+        t0 = time.monotonic()
+        outcome = encoder.solver.check(assumptions=[-literal])
+        solve_s += time.monotonic() - t0
+        if outcome == BVResult.SAT:
+            verdict = "unsafe"
+            bound_reached = bound
+            break
+        t0 = time.monotonic()
+        encoder.assert_trans(bound)
+        encode_s += time.monotonic() - t0
+    sat_solver = encoder.solver.solver
+    return {
+        "verdict": verdict,
+        "bound": bound_reached,
+        "setup_s": round(setup_s, 6),
+        "encode_s": round(encode_s, 6),
+        "solve_s": round(solve_s, 6),
+        "total_s": round(setup_s + encode_s + solve_s, 6),
+        "clauses": sat_solver.num_clauses,
+        "vars": sat_solver.num_vars,
+    }
+
+
+def _best_of(runs: List[Dict[str, object]]) -> Dict[str, object]:
+    """Keep the fastest run (by encode+solve) — standard noise reduction."""
+    return min(runs, key=lambda r: r["encode_s"] + r["solve_s"])
+
+
+def run_bmc_section(
+    names: List[str], depth: int, representation: str, repeats: int = 3
+) -> List[Dict]:
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        system = benchmark.load()
+        template = _best_of(
+            [
+                profile_bmc_unroll(system, None, depth, representation, True)
+                for _ in range(repeats)
+            ]
+        )
+        legacy = _best_of(
+            [
+                profile_bmc_unroll(system, None, depth, representation, False)
+                for _ in range(repeats)
+            ]
+        )
+        speedup = (
+            legacy["encode_s"] + legacy["solve_s"]
+        ) / max(1e-9, template["encode_s"] + template["solve_s"])
+        row = {
+            "benchmark": name,
+            "representation": representation,
+            "depth": depth,
+            "template": template,
+            "legacy": legacy,
+            "encode_solve_speedup": round(speedup, 2),
+            "verdicts_match": (template["verdict"], template["bound"])
+            == (legacy["verdict"], legacy["bound"]),
+        }
+        rows.append(row)
+        print(
+            f"bmc {name:12s} depth={depth} [{representation}] "
+            f"template={row['template']['total_s']:.3f}s "
+            f"legacy={row['legacy']['total_s']:.3f}s "
+            f"speedup={row['encode_solve_speedup']:.2f}x "
+            f"verdict={template['verdict']} "
+            f"{'OK' if row['verdicts_match'] else 'MISMATCH'}"
+        )
+    return rows
+
+
+def run_engine_section(names: List[str], engines: List[str], timeout: float) -> List[Dict]:
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        for engine_name in engines:
+            factory = ENGINE_FACTORIES[engine_name]
+            outcomes = {}
+            for template in (True, False):
+                system = benchmark.load()
+                t0 = time.monotonic()
+                result = factory(system, template).verify(timeout=timeout)
+                outcomes["template" if template else "legacy"] = {
+                    "status": result.status,
+                    "runtime_s": round(time.monotonic() - t0, 6),
+                }
+            speedup = outcomes["legacy"]["runtime_s"] / max(
+                1e-9, outcomes["template"]["runtime_s"]
+            )
+            row = {
+                "engine": engine_name,
+                "benchmark": name,
+                "representation": "word",
+                "template": outcomes["template"],
+                "legacy": outcomes["legacy"],
+                "speedup": round(speedup, 2),
+                "verdicts_match": outcomes["template"]["status"]
+                == outcomes["legacy"]["status"],
+                "expected": benchmark.expected,
+            }
+            rows.append(row)
+            print(
+                f"eng {engine_name:13s} {name:12s} "
+                f"template={row['template']['runtime_s']:.3f}s/{row['template']['status']} "
+                f"legacy={row['legacy']['runtime_s']:.3f}s/{row['legacy']['status']} "
+                f"{'OK' if row['verdicts_match'] else 'MISMATCH'}"
+            )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="time template vs legacy unrolling"
+    )
+    parser.add_argument("--out", default="BENCH_unroll.json", help="output JSON path")
+    parser.add_argument("--depth", type=int, default=32, help="BMC unroll depth")
+    parser.add_argument(
+        "--representation", default="word", choices=["word", "bit"],
+        help="frame encoding for the BMC section",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help=f"benchmarks for the BMC section (default: {' '.join(DEFAULT_BMC_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--engine-benchmarks", nargs="*", default=None,
+        help="benchmarks for the engine section",
+    )
+    parser.add_argument(
+        "--engines", nargs="*", default=list(ENGINE_FACTORIES),
+        choices=list(ENGINE_FACTORIES),
+        help="unbounded engines to compare end to end",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="per engine-run timeout (s)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="BMC section repetitions per path (fastest run kept)",
+    )
+    parser.add_argument(
+        "--skip-engines", action="store_true", help="only run the BMC section"
+    )
+    args = parser.parse_args(argv)
+
+    bmc_names = args.benchmarks if args.benchmarks else DEFAULT_BMC_BENCHMARKS
+    engine_names = (
+        args.engine_benchmarks if args.engine_benchmarks else DEFAULT_ENGINE_BENCHMARKS
+    )
+    unknown = [n for n in bmc_names + engine_names if n not in benchmark_names()]
+    if unknown:
+        parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+
+    bmc_rows = run_bmc_section(
+        bmc_names, args.depth, args.representation, repeats=max(1, args.repeats)
+    )
+    engine_rows = [] if args.skip_engines else run_engine_section(
+        engine_names, args.engines, args.timeout
+    )
+
+    speedups = {row["benchmark"]: row["encode_solve_speedup"] for row in bmc_rows}
+    all_match = all(row["verdicts_match"] for row in bmc_rows + engine_rows)
+    report = {
+        "meta": {
+            "tool": "repro.tools.bench",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "depth": args.depth,
+            "representation": args.representation,
+        },
+        "bmc_unroll": bmc_rows,
+        "engines": engine_rows,
+        "summary": {
+            "bmc_encode_solve_speedups": speedups,
+            "benchmarks_at_or_above_3x": sum(1 for s in speedups.values() if s >= 3.0),
+            "all_verdicts_match": all_match,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nwrote {args.out}: "
+        f"{report['summary']['benchmarks_at_or_above_3x']}/{len(speedups)} BMC "
+        f"benchmarks at >=3x, verdicts {'all match' if all_match else 'MISMATCH'}"
+    )
+    return 0 if all_match else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Benchmark suite integrity: the twelve designs and their ground truth."""
+
+import pytest
+
+import repro.benchmarks as benchmarks
+from repro.benchmarks import BENCHMARKS, Benchmark, benchmark_names, get_benchmark, load_system
+from repro.engines.bmc import BMCEngine
+from repro.engines.kinduction import KInductionEngine
+
+
+def test_package_exports():
+    assert benchmarks.Benchmark is Benchmark
+    assert set(benchmark_names()) == set(BENCHMARKS)
+    assert len(BENCHMARKS) == 12
+
+
+def test_all_benchmarks_build_and_validate():
+    for name in benchmark_names():
+        system = load_system(name)
+        assert system.name == name
+        assert system.properties, name
+        system.validate()
+
+
+def test_metadata_consistency():
+    for name, bench in BENCHMARKS.items():
+        assert bench.expected in ("safe", "unsafe")
+        assert bench.category in ("control", "datapath")
+        if bench.expected == "unsafe":
+            assert bench.bug_cycle is not None and bench.bug_cycle > 0
+        else:
+            assert bench.bug_cycle is None
+
+
+def test_documented_bug_cycles():
+    assert get_benchmark("daio").bug_cycle == 64
+    assert get_benchmark("tlc").bug_cycle == 65
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        get_benchmark("no_such_design")
+
+
+@pytest.mark.parametrize("name", ["daio", "tlc"])
+def test_unsafe_bug_cycle_is_exact(name):
+    bench = get_benchmark(name)
+    system = bench.load()
+    result = BMCEngine(system, max_bound=bench.bug_cycle + 1).verify(timeout=120)
+    assert result.status == "unsafe"
+    assert result.detail["bound"] == bench.bug_cycle
+    assert result.counterexample is not None
+    assert result.counterexample.length == bench.bug_cycle + 1
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, b in BENCHMARKS.items() if b.expected == "safe"]
+)
+def test_safe_benchmarks_are_k_inductive(name):
+    system = load_system(name)
+    result = KInductionEngine(system, max_k=8).verify(timeout=60)
+    assert result.status == "safe", (name, result.reason)

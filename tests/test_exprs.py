@@ -1,0 +1,121 @@
+"""Expression IR tests: evaluation, simplification round-trips, traversals."""
+
+import itertools
+
+import pytest
+
+from repro.exprs import (
+    FALSE,
+    TRUE,
+    bv_add,
+    bv_and,
+    bv_ashr,
+    bv_concat,
+    bv_const,
+    bv_eq,
+    bv_extract,
+    bv_ite,
+    bv_lshr,
+    bv_mul,
+    bv_ne,
+    bv_not,
+    bv_or,
+    bv_reduce_or,
+    bv_shl,
+    bv_sign_extend,
+    bv_slt,
+    bv_sub,
+    bv_udiv,
+    bv_ult,
+    bv_urem,
+    bv_var,
+    bv_xor,
+    bv_zero_extend,
+    evaluate,
+    simplify,
+)
+from repro.exprs.substitute import collect_vars, rename, substitute
+
+
+def _sample_exprs():
+    a = bv_var("a", 4)
+    b = bv_var("b", 4)
+    c = bv_var("c", 1)
+    return [
+        bv_add(a, b),
+        bv_sub(a, b),
+        bv_mul(a, b),
+        bv_udiv(a, b),
+        bv_urem(a, b),
+        bv_and(a, bv_not(b)),
+        bv_or(bv_xor(a, b), a),
+        bv_shl(a, b),
+        bv_lshr(a, b),
+        bv_ashr(a, b),
+        bv_eq(a, b),
+        bv_ne(a, b),
+        bv_ult(a, b),
+        bv_slt(a, b),
+        bv_ite(c, a, b),
+        bv_concat(a, b),
+        bv_extract(bv_concat(a, b), 5, 2),
+        bv_zero_extend(a, 2),
+        bv_sign_extend(a, 2),
+        bv_reduce_or(a),
+        bv_add(bv_ite(bv_eq(a, bv_const(3, 4)), a, b), bv_const(1, 4)),
+    ]
+
+
+def _environments():
+    values = [0, 1, 3, 7, 8, 15]
+    for va, vb in itertools.product(values, repeat=2):
+        for vc in (0, 1):
+            yield {"a": va, "b": vb, "c": vc}
+
+
+def test_simplify_preserves_semantics():
+    for expr in _sample_exprs():
+        simplified = simplify(expr)
+        assert simplified.width == expr.width
+        for env in _environments():
+            assert evaluate(simplified, env) == evaluate(expr, env), repr(expr)
+
+
+def test_constant_folding_to_const():
+    expr = bv_add(bv_const(3, 4), bv_mul(bv_const(2, 4), bv_const(5, 4)))
+    folded = simplify(expr)
+    assert folded.is_const()
+    assert evaluate(folded, {}) == (3 + 2 * 5) % 16
+
+
+def test_substitute_round_trip():
+    a = bv_var("a", 4)
+    b = bv_var("b", 4)
+    expr = bv_add(bv_and(a, b), a)
+    swapped = substitute(expr, {"a": b, "b": a})
+    for env in _environments():
+        mirrored = dict(env, a=env["b"], b=env["a"])
+        assert evaluate(swapped, env) == evaluate(expr, mirrored)
+
+
+def test_substitute_width_mismatch_rejected():
+    a = bv_var("a", 4)
+    with pytest.raises(ValueError):
+        substitute(bv_not(a), {"a": bv_var("wide", 8)})
+
+
+def test_rename_round_trip():
+    a = bv_var("a", 4)
+    b = bv_var("b", 4)
+    expr = bv_xor(bv_add(a, b), a)
+    stamped = rename(expr, lambda name: f"{name}@3")
+    names = {var.name for var in collect_vars(stamped)}
+    assert names == {"a@3", "b@3"}
+    unstamped = rename(stamped, lambda name: name.split("@")[0])
+    for env in _environments():
+        assert evaluate(unstamped, env) == evaluate(expr, env)
+
+
+def test_bool_constants():
+    assert evaluate(TRUE, {}) == 1
+    assert evaluate(FALSE, {}) == 0

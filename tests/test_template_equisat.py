@@ -1,0 +1,158 @@
+"""Template path vs legacy path: identical verdicts frame for frame.
+
+The CNF-template fast path (``incremental_template=True``, the default) must
+be equisatisfiable with the legacy per-frame re-blast at every depth, for both
+the word-level and the bit-level representations.  These tests run BMC (and a
+couple of unbounded engines) both ways and require identical verdicts and
+bounds — on safe, unsafe and constrained designs.
+"""
+
+import pytest
+
+from repro.benchmarks import get_benchmark, load_system
+from repro.engines.bmc import BMCEngine
+from repro.engines.encoding import FrameEncoder, template_library
+from repro.engines.kinduction import KInductionEngine
+from repro.engines.pdr import PDREngine
+from repro.exprs import bv_const, bv_ne
+from repro.netlist import TransitionSystem
+
+#: three suite designs plus depth; daio/tlc stay UNKNOWN at these bounds,
+#: exercising the full unroll on both paths
+EQUISAT_BENCHMARKS = ["huffman_dec", "daio", "fifo", "arbiter"]
+REPRESENTATIONS = ["word", "bit"]
+
+
+def _tiny_unsafe() -> TransitionSystem:
+    """A counter whose property fails at cycle 3 (exercises the SAT path)."""
+    ts = TransitionSystem("tiny_unsafe")
+    c = ts.add_state_var("c", 3, init=0)
+    ts.set_next("c", c + bv_const(1, 3))
+    ts.add_property("p", bv_ne(c, bv_const(3, 3)))
+    return ts
+
+
+def _bmc_outcome(system, representation, template, max_bound=5):
+    engine = BMCEngine(
+        system,
+        max_bound=max_bound,
+        representation=representation,
+        incremental_template=template,
+    )
+    result = engine.verify(timeout=60)
+    cex_len = result.counterexample.length if result.counterexample else None
+    return result.status, result.detail, cex_len
+
+
+@pytest.mark.parametrize("name", EQUISAT_BENCHMARKS)
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_bmc_equisat_on_benchmarks(name, representation):
+    system = load_system(name)
+    template = _bmc_outcome(system, representation, True)
+    legacy = _bmc_outcome(system, representation, False)
+    assert template == legacy
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_bmc_equisat_unsafe_counterexample(representation):
+    system = _tiny_unsafe()
+    template = _bmc_outcome(system, representation, True, max_bound=6)
+    legacy = _bmc_outcome(system, representation, False, max_bound=6)
+    assert template == legacy
+    assert template[0] == "unsafe"
+    assert template[1]["bound"] == 3
+
+
+@pytest.mark.parametrize("name", ["huffman_enc", "rcu", "iqueue"])
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_kinduction_equisat(name, representation):
+    outcomes = {}
+    for template in (True, False):
+        system = load_system(name)
+        result = KInductionEngine(
+            system,
+            max_k=8,
+            representation=representation,
+            incremental_template=template,
+        ).verify(timeout=60)
+        outcomes[template] = (result.status, result.detail)
+    assert outcomes[True] == outcomes[False]
+    assert outcomes[True][0] == get_benchmark(name).expected
+
+
+@pytest.mark.parametrize("representation", REPRESENTATIONS)
+def test_pdr_equisat(representation):
+    outcomes = {}
+    for template in (True, False):
+        system = load_system("huffman_dec")
+        result = PDREngine(
+            system,
+            representation=representation,
+            incremental_template=template,
+        ).verify(timeout=60)
+        outcomes[template] = (result.status, result.detail.get("frames"))
+    assert outcomes[True] == outcomes[False]
+    assert outcomes[True][0] == "safe"
+
+
+def test_template_library_is_cached_per_system():
+    system = load_system("arbiter")
+    first = template_library(system, "word")
+    second = template_library(system, "word")
+    assert first is second
+    # a different build of the same design gets its own library
+    other = load_system("arbiter")
+    assert template_library(other, "word") is not first
+
+
+def test_template_cache_invalidated_on_mutation():
+    """Mutating a design between runs must not reuse the stale template."""
+    system = _tiny_unsafe()
+    unsafe = _bmc_outcome(system, "word", True, max_bound=6)
+    assert unsafe[0] == "unsafe"
+    # retarget the counter to hold its value: the property becomes invariant
+    system.set_next("c", system.var("c"))
+    fixed = _bmc_outcome(system, "word", True, max_bound=6)
+    legacy = _bmc_outcome(system, "word", False, max_bound=6)
+    assert fixed == legacy
+    assert fixed[0] == "unknown"
+
+
+def test_template_cache_sees_added_property():
+    system = _tiny_unsafe()
+    encoder = FrameEncoder(system, incremental_template=True)
+    encoder.property_literal("p", 0)
+    system.add_property("p2", bv_ne(system.var("c"), bv_const(7, 3)))
+    fresh = FrameEncoder(system, incremental_template=True)
+    assert fresh.property_literal("p2", 0)  # must not raise KeyError
+
+
+def test_template_structure():
+    system = load_system("buffalloc")
+    library = template_library(system, "word")
+    template = library.trans_template
+    # canonical renumbering: internal gate vars form the trailing block
+    assert template.internal == tuple(
+        range(template.named_count + 1, template.num_vars + 1)
+    )
+    state_names = {name for name, _, _ in template.cur}
+    next_names = {name for name, _, _ in template.nxt}
+    assert next_names == set(system.state_vars)
+    assert state_names <= set(system.state_vars)
+    # gate clauses never touch named variables
+    for clause in template.gate_clauses:
+        assert all(abs(lit) > template.named_count for lit in clause)
+    assert template.num_clauses == len(template.gate_clauses) + len(
+        template.boundary_clauses
+    )
+
+
+def test_property_literal_cached_per_frame():
+    system = load_system("arbiter")
+    encoder = FrameEncoder(system, incremental_template=True)
+    encoder.assert_init(0)
+    first = encoder.property_literal("one_hot_grant", 0)
+    clauses_after = encoder.solver.solver.num_clauses
+    second = encoder.property_literal("one_hot_grant", 0)
+    assert first == second
+    assert encoder.solver.solver.num_clauses == clauses_after
