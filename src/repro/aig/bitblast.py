@@ -279,3 +279,95 @@ def aig_from_transition_system(system: TransitionSystem) -> AIG:
         aig.add_output(prop.name, good)
 
     return aig
+
+
+def transition_system_from_aig(
+    aig: AIG, name: Optional[str] = None
+) -> TransitionSystem:
+    """Lift a sequential AIG back into a (1-bit-word) transition system.
+
+    Every latch becomes a 1-bit state variable and every primary input a
+    1-bit input; AND gates become shared word-level expressions over them.
+    Bad outputs (AIGER 1.9) become safety properties asserting the bad
+    literal is never 1; ordinary outputs are used as bad states when no bad
+    section is present (the pre-1.9 HWMCC convention).  This is the loader
+    behind verifying ``.aag`` files with the word-level engines through the
+    ``repro-verify`` CLI.
+    """
+    from repro.exprs import bv_and, bv_const, bv_eq, bv_not
+
+    system = TransitionSystem(name or aig.name or "aig")
+
+    def signal_name(raw: str, fallback: str, used: set) -> str:
+        candidate = raw or fallback
+        if candidate in used:
+            candidate = f"{fallback}_{candidate}"
+        index = 2
+        base = candidate
+        while candidate in used:
+            candidate = f"{base}_{index}"
+            index += 1
+        used.add(candidate)
+        return candidate
+
+    used: set = set()
+    node_expr: Dict[AigerLiteral, Expr] = {}
+    for literal in aig.inputs:
+        input_name = signal_name(aig.input_names.get(literal, ""), f"i{literal >> 1}", used)
+        node_expr[literal] = system.add_input(input_name, 1)
+    latch_names: Dict[AigerLiteral, str] = {}
+    for latch in aig.latches:
+        latch_name = signal_name(latch.name, f"l{latch.literal >> 1}", used)
+        latch_names[latch.literal] = latch_name
+        node_expr[latch.literal] = system.add_state_var(
+            latch_name, 1, init=latch.reset & 1
+        )
+
+    false_expr = bv_const(0, 1)
+
+    def expr_of(literal: AigerLiteral) -> Expr:
+        """Resolve a literal to an expression, building AND cones iteratively."""
+        base = literal & ~1
+        if base == 0:
+            result = false_expr
+        else:
+            result = node_expr.get(base)
+            if result is None:
+                stack = [base]
+                while stack:
+                    node = stack[-1]
+                    if node in node_expr:
+                        stack.pop()
+                        continue
+                    left, right = aig.ands[node]
+                    pending = [
+                        child & ~1
+                        for child in (left, right)
+                        if (child & ~1) != 0 and (child & ~1) not in node_expr
+                    ]
+                    if pending:
+                        stack.extend(pending)
+                        continue
+                    stack.pop()
+                    node_expr[node] = bv_and(_phase(left), _phase(right))
+                result = node_expr[base]
+        return bv_not(result) if literal & 1 else result
+
+    def _phase(literal: AigerLiteral) -> Expr:
+        base = literal & ~1
+        expr = false_expr if base == 0 else node_expr[base]
+        return bv_not(expr) if literal & 1 else expr
+
+    for latch in aig.latches:
+        system.set_next(latch_names[latch.literal], expr_of(latch.next_literal))
+
+    bad_states = list(aig.bad)
+    if not bad_states:
+        # pre-AIGER-1.9 convention: outputs are bad-state functions
+        bad_states = [(name or f"o{index}", literal)
+                      for index, (name, literal) in enumerate(aig.outputs)]
+    for index, (bad_name, bad_literal) in enumerate(bad_states):
+        system.add_property(
+            bad_name or f"bad{index}", bv_eq(expr_of(bad_literal), false_expr)
+        )
+    return system

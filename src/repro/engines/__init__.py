@@ -19,6 +19,7 @@ kIkI                :mod:`repro.engines.kiki`                     2LS
 """
 
 from repro.engines.result import Status, VerificationResult, Counterexample
+from repro.engines.base import Engine, EngineCapabilities, EngineOptionError
 from repro.engines.encoding import FrameEncoder
 from repro.engines.bmc import BMCEngine
 from repro.engines.kinduction import KInductionEngine
@@ -28,12 +29,30 @@ from repro.engines.impact import ImpactEngine
 from repro.engines.predabs import PredicateAbstractionEngine
 from repro.engines.absint import AbstractInterpretationEngine
 from repro.engines.kiki import KikiEngine
-from repro.engines.registry import ENGINE_REGISTRY, make_engine
+from repro.engines.registry import (
+    ENGINE_REGISTRY,
+    EngineRegistration,
+    get_registration,
+    list_engines,
+    make_engine,
+)
+from repro.engines.portfolio import (
+    PortfolioConfig,
+    PortfolioResult,
+    PortfolioRunner,
+    VerificationTask,
+    WorkerOutcome,
+    default_portfolio_configs,
+    run_portfolio,
+)
 
 __all__ = [
     "Status",
     "VerificationResult",
     "Counterexample",
+    "Engine",
+    "EngineCapabilities",
+    "EngineOptionError",
     "FrameEncoder",
     "BMCEngine",
     "KInductionEngine",
@@ -44,5 +63,15 @@ __all__ = [
     "AbstractInterpretationEngine",
     "KikiEngine",
     "ENGINE_REGISTRY",
+    "EngineRegistration",
+    "get_registration",
+    "list_engines",
     "make_engine",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "VerificationTask",
+    "WorkerOutcome",
+    "default_portfolio_configs",
+    "run_portfolio",
 ]

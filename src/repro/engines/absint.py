@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr, bv_const, bv_var, bool_and
 from repro.exprs.nodes import Const, Op, Var, mask, to_signed
@@ -310,10 +311,13 @@ class IntervalEvaluator:
         return then_interval.join(else_interval)
 
 
-class AbstractInterpretationEngine:
+class AbstractInterpretationEngine(Engine):
     """Interval analysis of the software-netlist."""
 
     name = "abstract-interpretation"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=False, representations=("word",)
+    )
 
     def __init__(
         self,
@@ -321,7 +325,7 @@ class AbstractInterpretationEngine:
         widen_after: int = 8,
         max_iterations: int = 200,
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.flat = system.flattened()
         self.widen_after = widen_after
         self.max_iterations = max_iterations
@@ -374,7 +378,7 @@ class AbstractInterpretationEngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
         intervals = self.compute_invariants(budget)
         if budget.expired():

@@ -1,0 +1,152 @@
+"""The unified engine API.
+
+Every verification technique of the reproduction — the eight engines the
+paper compares — implements the same contract, :class:`Engine`:
+
+* one constructor shape ``Engine(system, **options)`` where the options are
+  the engine's declared keyword parameters,
+* one entry point ``verify(property_name, timeout) ->``
+  :class:`repro.engines.result.VerificationResult`,
+* declared :class:`EngineCapabilities` (can it *prove* safety, can it
+  *refute* with a counterexample, which design representations does it
+  accept) so that drivers — the registry, the ``repro-verify`` CLI and the
+  process-based portfolio of :mod:`repro.engines.portfolio` — can select and
+  combine engines without knowing their internals.
+
+This mirrors the architecture of portfolio verifiers such as CPAchecker,
+where many analyses sit behind one algorithm interface and a driver races or
+sequences them.
+"""
+
+from __future__ import annotations
+
+import inspect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.engines.result import VerificationResult
+from repro.netlist import TransitionSystem
+
+
+class EngineOptionError(ValueError):
+    """Raised when an engine is instantiated with options it does not accept."""
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What an engine can conclude and on which design representations.
+
+    ``can_prove``/``can_refute`` describe the *definitive* answers the engine
+    is able to return (``SAFE`` respectively ``UNSAFE``); every engine may
+    additionally return ``UNKNOWN``/``TIMEOUT``.  ``representations`` lists
+    the frame encodings the engine supports (``"word"`` and/or ``"bit"``,
+    see :class:`repro.engines.encoding.FrameEncoder`).  ``complete`` marks
+    engines that terminate with a definitive answer on every finite-state
+    design given enough resources.
+    """
+
+    can_prove: bool
+    can_refute: bool
+    representations: Tuple[str, ...] = ("word",)
+    complete: bool = False
+
+    def describe(self) -> str:
+        """Short human-readable capability tag, e.g. ``prove+refute [word,bit]``."""
+        verbs = [v for v, ok in (("prove", self.can_prove), ("refute", self.can_refute)) if ok]
+        return f"{'+'.join(verbs) or 'none'} [{','.join(self.representations)}]"
+
+
+class Engine(ABC):
+    """Abstract base class of all verification engines.
+
+    Subclasses must set the class attributes :attr:`name` (the canonical
+    engine name used by the registry) and :attr:`capabilities`, accept the
+    design as the first positional constructor argument, and implement
+    :meth:`verify`.
+    """
+
+    #: canonical engine name (registry key, ``VerificationResult.engine``)
+    name: str = ""
+    #: what the engine can conclude; see :class:`EngineCapabilities`
+    capabilities: EngineCapabilities = EngineCapabilities(False, False)
+
+    def __init__(self, system: TransitionSystem) -> None:
+        self.system = system
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def verify(
+        self, property_name: Optional[str] = None, timeout: Optional[float] = None
+    ) -> VerificationResult:
+        """Verify ``property_name`` (default: the design's first property).
+
+        ``timeout`` is a wall-clock budget in seconds; engines return a
+        ``TIMEOUT`` result instead of raising when it expires.
+        """
+
+    # ------------------------------------------------------------------
+    # uniform option handling
+    # ------------------------------------------------------------------
+    @classmethod
+    def option_names(cls) -> Tuple[str, ...]:
+        """The keyword options the engine constructor accepts (besides the design)."""
+        parameters = inspect.signature(cls.__init__).parameters
+        names = []
+        for index, (name, parameter) in enumerate(parameters.items()):
+            if index < 2:  # self, system
+                continue
+            if parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ):
+                names.append(name)
+        return tuple(names)
+
+    @classmethod
+    def validate_options(
+        cls, options: Dict[str, object], ignore_unknown: bool = False
+    ) -> Dict[str, object]:
+        """Return the subset of ``options`` the engine accepts.
+
+        Unknown options raise :class:`EngineOptionError` naming the engine and
+        its supported options — unless ``ignore_unknown`` is set, in which
+        case they are silently dropped (the *routing* mode used by drivers
+        that hand one common option bag to heterogeneous engines).  A
+        ``representation`` outside the engine's declared capabilities is
+        always an error.
+        """
+        supported = cls.option_names()
+        accepted: Dict[str, object] = {}
+        unknown = []
+        for key, value in options.items():
+            if key in supported:
+                accepted[key] = value
+            else:
+                unknown.append(key)
+        if unknown and not ignore_unknown:
+            raise EngineOptionError(
+                f"engine {cls.name!r} does not accept option(s) "
+                f"{', '.join(repr(u) for u in sorted(unknown))}; "
+                f"supported: {', '.join(supported) or '(none)'}"
+            )
+        representation = accepted.get("representation")
+        if representation is not None and representation not in cls.capabilities.representations:
+            raise EngineOptionError(
+                f"engine {cls.name!r} does not support representation "
+                f"{representation!r}; supported: "
+                f"{', '.join(cls.capabilities.representations)}"
+            )
+        return accepted
+
+    # ------------------------------------------------------------------
+    def default_property(self, property_name: Optional[str] = None) -> str:
+        """Resolve ``property_name``, defaulting to the design's first property."""
+        if property_name is not None:
+            return property_name
+        if not self.system.properties:
+            raise ValueError(f"design {self.system.name!r} declares no properties")
+        return self.system.properties[0].name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.system.name!r})"

@@ -13,13 +13,14 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.netlist import TransitionSystem
 from repro.smt import BVResult
 
 
-class BMCEngine:
+class BMCEngine(Engine):
     """Incremental bounded model checker.
 
     Parameters
@@ -33,6 +34,9 @@ class BMCEngine:
     """
 
     name = "bmc"
+    capabilities = EngineCapabilities(
+        can_prove=False, can_refute=True, representations=("word", "bit")
+    )
 
     def __init__(
         self,
@@ -41,7 +45,7 @@ class BMCEngine:
         representation: str = "word",
         incremental_template: bool = True,
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.max_bound = max_bound
         self.representation = representation
         self.incremental_template = incremental_template
@@ -51,7 +55,7 @@ class BMCEngine:
     ) -> VerificationResult:
         """Search for a violation of ``property_name`` up to ``max_bound`` cycles."""
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         encoder = FrameEncoder(
             self.system,
             representation=self.representation,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Tuple
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr, TRUE, bool_and, bool_not, bool_or, bv_var, simplify
@@ -29,10 +30,13 @@ from repro.sat.interpolate import Interpolator
 from repro.smt import BVResult, BVSolver
 
 
-class ImpactEngine:
+class ImpactEngine(Engine):
     """IMPACT-style lazy interpolation on the software-netlist."""
 
     name = "impact"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=True, representations=("word",)
+    )
 
     def __init__(
         self,
@@ -40,7 +44,7 @@ class ImpactEngine:
         max_depth: int = 48,
         representation: str = "word",
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.flat = system.flattened()
         self.max_depth = max_depth
         self.representation = representation
@@ -50,7 +54,7 @@ class ImpactEngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
 
         init_label = self._init_expr()

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import (
@@ -45,10 +46,13 @@ from repro.sat.interpolate import Interpolator, ItpNode
 from repro.smt import BVResult, BVSolver
 
 
-class InterpolationEngine:
+class InterpolationEngine(Engine):
     """McMillan-style interpolation model checker."""
 
     name = "interpolation"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True
+    )
 
     def __init__(
         self,
@@ -59,7 +63,7 @@ class InterpolationEngine:
         representation: str = "word",
         incremental_template: bool = True,
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.initial_depth = max(1, initial_depth)
         self.max_depth = max_depth
         self.max_iterations = max_iterations
@@ -71,7 +75,7 @@ class InterpolationEngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
 
         # the iteration below only examines frames >= 1, so the initial state

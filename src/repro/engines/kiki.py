@@ -20,6 +20,7 @@ import time
 from typing import List, Optional
 
 from repro.engines.absint import AbstractInterpretationEngine
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.kinduction import KInductionEngine
 from repro.engines.result import Budget, Status, VerificationResult
@@ -28,10 +29,13 @@ from repro.netlist import TransitionSystem
 from repro.smt import BVResult
 
 
-class KikiEngine:
+class KikiEngine(Engine):
     """BMC + k-induction + k-invariant combination."""
 
     name = "kiki"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True
+    )
 
     def __init__(
         self,
@@ -42,7 +46,7 @@ class KikiEngine:
         use_intervals: bool = True,
         incremental_template: bool = True,
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.max_k = max_k
         self.simple_path = simple_path
         self.representation = representation
@@ -53,7 +57,7 @@ class KikiEngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
 
         # phase 1: infer interval invariants (cheap, template-based)

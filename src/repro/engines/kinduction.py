@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr, bool_or, bv_eq, bv_ne, bv_var
@@ -25,10 +26,13 @@ from repro.netlist import TransitionSystem
 from repro.smt import BVResult, BVSolver
 
 
-class KInductionEngine:
+class KInductionEngine(Engine):
     """Incremental k-induction engine."""
 
     name = "k-induction"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True
+    )
 
     def __init__(
         self,
@@ -39,7 +43,7 @@ class KInductionEngine:
         strengthening_invariants: Optional[Iterable[Expr]] = None,
         incremental_template: bool = True,
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.max_k = max_k
         self.simple_path = simple_path
         self.representation = representation
@@ -52,7 +56,7 @@ class KInductionEngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
 
         # Base-case solver: Init at frame 0, unrolled forward.

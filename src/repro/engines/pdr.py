@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.bmc import BMCEngine
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Counterexample, Status, VerificationResult
@@ -33,10 +34,13 @@ CubeLit = Tuple[str, int, bool]
 Cube = FrozenSet[CubeLit]
 
 
-class PDREngine:
+class PDREngine(Engine):
     """Incremental IC3/PDR over the register bits of the design."""
 
     name = "pdr"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True
+    )
 
     def __init__(
         self,
@@ -46,7 +50,7 @@ class PDREngine:
         generalize_passes: int = 1,
         incremental_template: bool = True,
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.max_frames = max_frames
         self.representation = representation
         self.generalize_passes = generalize_passes
@@ -57,7 +61,7 @@ class PDREngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
         try:
             return self._run(property_name, budget, start)

@@ -1,0 +1,573 @@
+"""Process-based parallel portfolio over engine×representation configurations.
+
+The paper's headline observation is that no single technique wins everywhere:
+BMC refutes quickly, k-induction/interpolation/kIkI/PDR prove, and which
+prover is fastest varies per design (Figures 3–5).  A *portfolio* exploits
+exactly that: run several engine configurations concurrently on the same
+verification task and take the first definitive answer.
+
+:class:`PortfolioRunner` fans the configurations out as worker *processes*
+(``multiprocessing``; the engines are CPU-bound pure Python, so threads would
+serialize on the GIL), streams per-worker lifecycle events and statistics
+back over a queue, cancels the losers as soon as one worker returns a
+definitive SAFE/UNSAFE answer, and aggregates everything into a
+:class:`PortfolioResult`.  A *cross-check* mode instead lets every worker
+finish and reports :data:`repro.engines.result.Status.WRONG` when two
+definitive answers disagree — the "wrong result" category of the paper's
+figures, applied to our own engines.
+
+Workers receive a picklable :class:`VerificationTask` (a suite benchmark
+name, a Verilog/AIGER file path, or a transition system) and rebuild the
+design in the child process, so nothing non-picklable ever crosses the
+process boundary under any start method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.registry import list_engines, make_engine
+from repro.engines.result import Counterexample, Status, VerificationResult
+from repro.netlist import TransitionSystem
+
+
+# ---------------------------------------------------------------------------
+# task and configuration descriptions (picklable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerificationTask:
+    """A picklable description of *what* to verify.
+
+    ``kind`` selects the loader: a suite ``"benchmark"`` by name, a
+    ``"verilog"`` or ``"aiger"`` file by path, or a ``"system"`` carried
+    directly (requires the transition system itself to pickle, which holds
+    under the default ``fork`` start method on POSIX).
+    """
+
+    kind: str
+    spec: object
+    name: str = ""
+
+    @staticmethod
+    def benchmark(name: str) -> "VerificationTask":
+        return VerificationTask("benchmark", name, name)
+
+    @staticmethod
+    def verilog(path: str, top: Optional[str] = None) -> "VerificationTask":
+        return VerificationTask("verilog", (path, top), os.path.basename(path))
+
+    @staticmethod
+    def aiger(path: str) -> "VerificationTask":
+        return VerificationTask("aiger", path, os.path.basename(path))
+
+    @staticmethod
+    def system(system: TransitionSystem) -> "VerificationTask":
+        return VerificationTask("system", system, system.name)
+
+    def load(self) -> TransitionSystem:
+        """Build the transition system described by this task."""
+        if self.kind == "benchmark":
+            from repro.benchmarks import get_benchmark
+
+            return get_benchmark(self.spec).load()
+        if self.kind == "verilog":
+            from repro.synth import synthesize_file
+
+            path, top = self.spec
+            return synthesize_file(path, top=top)
+        if self.kind == "aiger":
+            from repro.aig.bitblast import transition_system_from_aig
+            from repro.aig.formats import read_aiger
+
+            with open(self.spec, "r", encoding="utf-8") as handle:
+                return transition_system_from_aig(read_aiger(handle.read()))
+        if self.kind == "system":
+            return self.spec
+        raise ValueError(f"unknown task kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """One engine configuration raced by the portfolio."""
+
+    engine: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def of(engine: str, **options) -> "PortfolioConfig":
+        return PortfolioConfig(engine, tuple(sorted(options.items())))
+
+    @property
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    @property
+    def label(self) -> str:
+        representation = self.options_dict.get("representation", "word")
+        return f"{self.engine}[{representation}]"
+
+
+def bound_options(bound: int) -> Dict[str, object]:
+    """The shared depth-cap option bag, routed per engine by the drivers.
+
+    Each engine keeps only the key it understands (``max_bound`` for BMC,
+    ``max_k`` for k-induction/kIkI, ``max_depth`` for interpolation/IMPACT,
+    ``max_frames`` for PDR).
+    """
+    return {
+        "max_bound": bound,
+        "max_k": bound,
+        "max_depth": bound,
+        "max_frames": max(bound, 2),
+    }
+
+
+def default_portfolio_configs(
+    representations: Sequence[str] = ("word",),
+    bound: Optional[int] = None,
+) -> List[PortfolioConfig]:
+    """The default engine×representation fan-out.
+
+    Takes every portfolio-flagged engine of the registry crossed with the
+    requested representations (filtered by each engine's declared
+    capabilities).  ``bound`` caps the search depth of the bounded/iterative
+    engines through the shared option bag (routed per engine, see
+    :func:`repro.engines.registry.make_engine`).
+    """
+    configs: List[PortfolioConfig] = []
+    for representation in representations:
+        for registration in list_engines(portfolio_only=True):
+            if representation not in registration.capabilities.representations:
+                continue
+            options: Dict[str, object] = {"representation": representation}
+            if bound is not None:
+                options.update(bound_options(bound))
+            configs.append(PortfolioConfig.of(registration.name, **options))
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+
+#: worker states in a finished portfolio
+DONE = "done"  # posted a result
+CANCELLED = "cancelled"  # terminated after another worker won
+TIMED_OUT = "timed-out"  # terminated at the portfolio deadline
+SKIPPED = "skipped"  # never started (a winner emerged first)
+CRASHED = "crashed"  # process died without posting a result
+
+
+@dataclass
+class WorkerOutcome:
+    """What happened to one portfolio worker."""
+
+    label: str
+    engine: str
+    options: Dict[str, object]
+    state: str
+    result: Optional[VerificationResult] = None
+    runtime: float = 0.0
+
+    @property
+    def status(self) -> str:
+        if self.result is not None:
+            return self.result.status
+        return self.state
+
+
+@dataclass
+class PortfolioResult:
+    """Aggregated outcome of one portfolio run."""
+
+    status: str
+    property_name: str
+    runtime: float
+    winner: Optional[str] = None  # label of the deciding configuration
+    winner_engine: Optional[str] = None
+    counterexample: Optional[Counterexample] = None
+    workers: List[WorkerOutcome] = field(default_factory=list)
+    detail: Dict[str, object] = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def is_definitive(self) -> bool:
+        return self.status in Status.DEFINITIVE
+
+    def worker(self, label: str) -> WorkerOutcome:
+        for outcome in self.workers:
+            if outcome.label == label:
+                return outcome
+        raise KeyError(f"no portfolio worker labelled {label!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PortfolioResult({self.status}, winner={self.winner!r}, "
+            f"{self.runtime:.3f}s, {len(self.workers)} workers)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+
+
+def _portfolio_worker(
+    index: int,
+    config: PortfolioConfig,
+    task: VerificationTask,
+    property_name: Optional[str],
+    timeout: Optional[float],
+    events: "multiprocessing.Queue",
+) -> None:
+    """Run one engine configuration and stream lifecycle events back."""
+    start = time.monotonic()
+    try:
+        system = task.load()
+        engine = make_engine(
+            config.engine,
+            system,
+            ignore_unknown_options=True,
+            **config.options_dict,
+        )
+        events.put(("started", index, {"pid": os.getpid(), "label": config.label}))
+        result = engine.verify(property_name, timeout=timeout)
+    except Exception as error:  # noqa: BLE001 - crash category of the paper
+        result = VerificationResult(
+            Status.ERROR,
+            config.engine,
+            property_name or "",
+            runtime=time.monotonic() - start,
+            reason=f"{type(error).__name__}: {error}",
+        )
+    # Queue.put serializes in a background feeder thread, so a pickling
+    # failure would be swallowed there and the result silently lost; probe
+    # the pickle here and strip the engine-specific payload if needed.
+    try:
+        pickle.dumps(result)
+    except Exception:  # pragma: no cover - unpicklable engine detail
+        result = VerificationResult(
+            result.status,
+            result.engine,
+            result.property_name,
+            runtime=result.runtime,
+            reason=result.reason or "detail dropped (not picklable)",
+        )
+    events.put(("result", index, result))
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class PortfolioRunner:
+    """Race engine configurations in worker processes.
+
+    Parameters
+    ----------
+    configs:
+        The configurations to fan out (default:
+        :func:`default_portfolio_configs`).
+    timeout:
+        Overall wall-clock budget in seconds for the whole portfolio; each
+        worker also receives it as its engine budget.
+    max_workers:
+        Concurrent process cap (default: one process per configuration, so
+        the race is decided by the OS scheduler even when configurations
+        outnumber cores).  With a smaller cap the remaining configurations
+        are queued and launched as slots free up.
+    cross_check:
+        When True the runner does *not* cancel on the first definitive
+        answer; every worker runs to completion and disagreeing definitive
+        answers yield an overall ``Status.WRONG``.
+    expected:
+        Optional ground-truth verdict (``"safe"``/``"unsafe"``).  A
+        definitive portfolio answer contradicting it is reported as
+        ``Status.WRONG`` — the harness-side classification of the paper.
+    on_event:
+        Optional callback receiving progress dicts
+        (``{"event": "started"|"result"|..., "label": ..., ...}``) as they
+        stream in from the workers.
+    """
+
+    #: extra wall-clock grace before force-terminating workers at the deadline
+    GRACE_SECONDS = 2.0
+
+    def __init__(
+        self,
+        configs: Optional[Sequence[PortfolioConfig]] = None,
+        timeout: Optional[float] = None,
+        max_workers: Optional[int] = None,
+        cross_check: bool = False,
+        expected: Optional[str] = None,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.configs = list(configs) if configs is not None else default_portfolio_configs()
+        if not self.configs:
+            raise ValueError("portfolio needs at least one configuration")
+        self.timeout = timeout
+        self.max_workers = max(1, max_workers or len(self.configs))
+        self.cross_check = cross_check
+        self.expected = expected
+        self.on_event = on_event
+        self.poll_interval = poll_interval
+        start_methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in start_methods else "spawn"
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        task: VerificationTask,
+        property_name: Optional[str] = None,
+    ) -> PortfolioResult:
+        """Run the portfolio on ``task`` and aggregate the outcome."""
+        start = time.monotonic()
+        deadline = start + self.timeout if self.timeout is not None else None
+        events: "multiprocessing.Queue" = self._context.Queue()
+
+        outcomes = [
+            WorkerOutcome(config.label, config.engine, config.options_dict, SKIPPED)
+            for config in self.configs
+        ]
+        processes: Dict[int, multiprocessing.Process] = {}
+        launched: Dict[int, float] = {}
+        next_index = 0
+        finished = 0
+        winner_index: Optional[int] = None
+
+        def emit(event: str, **payload) -> None:
+            if self.on_event is not None:
+                self.on_event({"event": event, **payload})
+
+        def launch_until_full() -> None:
+            nonlocal next_index
+            while next_index < len(self.configs) and len(processes) < self.max_workers:
+                index = next_index
+                next_index += 1
+                remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+                process = self._context.Process(
+                    target=_portfolio_worker,
+                    args=(
+                        index,
+                        self.configs[index],
+                        task,
+                        property_name,
+                        remaining,
+                        events,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                processes[index] = process
+                launched[index] = time.monotonic()
+                outcomes[index].state = CANCELLED  # running; refined on completion
+
+        launch_until_full()
+
+        while finished < len(self.configs) and (processes or next_index < len(self.configs)):
+            if deadline is not None and time.monotonic() > deadline + self.GRACE_SECONDS:
+                break
+            try:
+                kind, index, payload = events.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                # reap workers that died without posting a result
+                for index, process in list(processes.items()):
+                    if not process.is_alive():
+                        process.join()
+                        del processes[index]
+                        if outcomes[index].result is None:
+                            outcomes[index].state = CRASHED
+                            outcomes[index].runtime = time.monotonic() - launched[index]
+                            finished += 1
+                            emit("crashed", label=outcomes[index].label)
+                launch_until_full()
+                continue
+            if kind == "started":
+                emit("started", label=payload["label"], pid=payload["pid"])
+                continue
+            # kind == "result"
+            result: VerificationResult = payload
+            # a result can land after the reap branch already marked the
+            # worker CRASHED (queue feeder raced the process exit): upgrade
+            # the outcome but do not count the worker as finished twice
+            first_report = (
+                outcomes[index].result is None and outcomes[index].state != CRASHED
+            )
+            outcomes[index].result = result
+            outcomes[index].state = DONE
+            outcomes[index].runtime = time.monotonic() - launched[index]
+            if first_report:
+                finished += 1
+            process = processes.pop(index, None)
+            if process is not None:
+                process.join(timeout=self.GRACE_SECONDS)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join()
+            emit(
+                "result",
+                label=outcomes[index].label,
+                status=result.status,
+                runtime=outcomes[index].runtime,
+                detail=dict(result.detail),
+            )
+            if result.is_definitive and not self.cross_check:
+                winner_index = index
+                break
+            launch_until_full()
+
+        # record results that raced the cancellation before terminating losers
+        while True:
+            try:
+                kind, index, payload = events.get_nowait()
+            except queue_module.Empty:
+                break
+            if kind != "result" or outcomes[index].result is not None:
+                continue
+            outcomes[index].result = payload
+            outcomes[index].state = DONE
+            outcomes[index].runtime = time.monotonic() - launched[index]
+            finished += 1
+            process = processes.pop(index, None)
+            if process is not None:
+                process.join(timeout=self.GRACE_SECONDS)
+
+        # cancel/terminate everything still in flight
+        deadline_hit = deadline is not None and time.monotonic() >= deadline
+        for index, process in processes.items():
+            if process.is_alive():
+                process.terminate()
+            process.join()
+            if outcomes[index].result is None:
+                outcomes[index].state = TIMED_OUT if winner_index is None and deadline_hit else CANCELLED
+                outcomes[index].runtime = time.monotonic() - launched[index]
+                emit("cancelled", label=outcomes[index].label, state=outcomes[index].state)
+        events.close()
+        events.cancel_join_thread()
+
+        return self._aggregate(task, property_name, outcomes, winner_index, start)
+
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self,
+        task: VerificationTask,
+        property_name: Optional[str],
+        outcomes: List[WorkerOutcome],
+        winner_index: Optional[int],
+        start: float,
+    ) -> PortfolioResult:
+        runtime = time.monotonic() - start
+        detail: Dict[str, object] = {
+            "task": task.name,
+            "configs": [outcome.label for outcome in outcomes],
+            "worker_statuses": {outcome.label: outcome.status for outcome in outcomes},
+            "cross_check": self.cross_check,
+        }
+
+        definitive = [
+            outcome
+            for outcome in outcomes
+            if outcome.result is not None and outcome.result.is_definitive
+        ]
+
+        # cross-check: disagreeing definitive answers are a wrong result
+        statuses = {outcome.result.status for outcome in definitive}
+        if len(statuses) > 1:
+            detail["disagreement"] = {
+                outcome.label: outcome.result.status for outcome in definitive
+            }
+            return PortfolioResult(
+                Status.WRONG,
+                self._property_name(property_name, definitive),
+                runtime,
+                workers=outcomes,
+                detail=detail,
+                reason="portfolio workers returned contradictory definitive answers",
+            )
+
+        if winner_index is None and definitive:
+            # cross-check mode: the earliest definitive finisher is the winner
+            winner_index = min(
+                (index for index, outcome in enumerate(outcomes) if outcome in definitive),
+                key=lambda index: outcomes[index].runtime,
+            )
+
+        if winner_index is not None:
+            winning = outcomes[winner_index]
+            result = winning.result
+            assert result is not None
+            status = result.status
+            reason = result.reason
+            if self.expected is not None and status != self.expected:
+                detail["expected"] = self.expected
+                detail["claimed"] = status
+                status = Status.WRONG
+                reason = (
+                    f"{winning.label} claimed {result.status!r} but the benchmark "
+                    f"is known {self.expected!r}"
+                )
+            return PortfolioResult(
+                status,
+                result.property_name,
+                runtime,
+                winner=winning.label,
+                winner_engine=winning.engine,
+                counterexample=result.counterexample,
+                workers=outcomes,
+                detail={**detail, **{f"winner_{k}": v for k, v in result.detail.items()}},
+                reason=reason,
+            )
+
+        # no definitive answer: summarize the failure categories
+        finished = [outcome for outcome in outcomes if outcome.result is not None]
+        statuses = [outcome.result.status for outcome in finished]
+        if any(status == Status.UNKNOWN for status in statuses):
+            status = Status.UNKNOWN
+        elif statuses and all(status == Status.ERROR for status in statuses):
+            status = Status.ERROR
+        elif not statuses and any(outcome.state == CRASHED for outcome in outcomes):
+            # every worker died without reporting: a crash, not a timeout
+            status = Status.ERROR
+        else:
+            status = Status.TIMEOUT
+        return PortfolioResult(
+            status,
+            self._property_name(property_name, finished),
+            runtime,
+            workers=outcomes,
+            detail=detail,
+            reason="no portfolio configuration reached a definitive answer",
+        )
+
+    @staticmethod
+    def _property_name(
+        property_name: Optional[str], outcomes: Sequence[WorkerOutcome]
+    ) -> str:
+        if property_name:
+            return property_name
+        for outcome in outcomes:
+            if outcome.result is not None and outcome.result.property_name:
+                return outcome.result.property_name
+        return ""
+
+
+def run_portfolio(
+    task: VerificationTask,
+    property_name: Optional[str] = None,
+    **runner_options,
+) -> PortfolioResult:
+    """Convenience wrapper: build a :class:`PortfolioRunner` and run it once."""
+    return PortfolioRunner(**runner_options).run(task, property_name)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Counterexample, Status, VerificationResult
 from repro.exprs import (
@@ -44,10 +45,13 @@ from repro.smt import BVResult, BVSolver
 AbstractState = Tuple[bool, ...]
 
 
-class PredicateAbstractionEngine:
+class PredicateAbstractionEngine(Engine):
     """Boolean predicate abstraction with interpolant-based refinement."""
 
     name = "predicate-abstraction"
+    capabilities = EngineCapabilities(
+        can_prove=True, can_refute=True, representations=("word",)
+    )
 
     def __init__(
         self,
@@ -57,7 +61,7 @@ class PredicateAbstractionEngine:
         max_predicates: int = 64,
         representation: str = "word",
     ) -> None:
-        self.system = system
+        super().__init__(system)
         self.flat = system.flattened()
         self.max_abstract_states = max_abstract_states
         self.max_refinements = max_refinements
@@ -69,7 +73,7 @@ class PredicateAbstractionEngine:
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
     ) -> VerificationResult:
         budget = Budget(timeout)
-        property_name = property_name or self.system.properties[0].name
+        property_name = self.default_property(property_name)
         start = time.monotonic()
         prop = self.flat.property_by_name(property_name)
 

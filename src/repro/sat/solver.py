@@ -40,6 +40,10 @@ class SolverStats:
     restarts: int = 0
     learned_clauses: int = 0
     max_decision_level: int = 0
+    #: learned-clause database reductions performed (see Solver._reduce_db)
+    reduce_db: int = 0
+    #: learned clauses deleted by database reductions
+    deleted_clauses: int = 0
 
 
 def luby(index: int) -> int:
@@ -76,12 +80,36 @@ class Solver:
         When True, the solver records for every learned clause the sequence of
         antecedent clauses and resolution pivots used to derive it, and on a
         final refutation stores the chain deriving the empty clause.  This is
-        required by :class:`repro.sat.interpolate.Interpolator`.
+        required by :class:`repro.sat.interpolate.Interpolator`.  Proof
+        logging disables learned-clause garbage collection (deleted clauses
+        could be antecedents of the final refutation).
+    reduce_base:
+        Number of *live* learned clauses that triggers the first database
+        reduction; each reduction raises the threshold by ``reduce_growth``.
+        Deep unrolls previously grew the clause database without bound — the
+        reduction keeps the learned part in check while original (problem)
+        clauses are never touched.
     """
 
-    def __init__(self, proof: bool = False) -> None:
+    def __init__(
+        self,
+        proof: bool = False,
+        reduce_base: int = 2000,
+        reduce_growth: float = 1.3,
+    ) -> None:
         self.proof_logging = proof
         self.stats = SolverStats()
+
+        # learned-clause database reduction (clause GC)
+        self.reduce_base = reduce_base
+        self.reduce_growth = reduce_growth
+        self._next_reduce = reduce_base
+        #: live learned clause id -> activity (bumped when used in analysis)
+        self._learned_activity: Dict[int, float] = {}
+        #: live learned clause id -> literal-block distance at learn time
+        self._learned_lbd: Dict[int, int] = {}
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
 
         # clause storage: clause id -> list of literals (watched literals first)
         self._clauses: List[List[int]] = []
@@ -436,6 +464,9 @@ class Solver:
                 cid = watchers[i]
                 i += 1
                 clause = clauses[cid]
+                if not clause:
+                    # deleted by a DB reduction: drop it from this watch list
+                    continue
                 if len(clause) == 1:
                     new_watchers.append(cid)
                     only = clause[0]
@@ -491,6 +522,19 @@ class Solver:
 
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _bump_clause_activity(self, cid: int) -> None:
+        """Bump a learned clause used as an antecedent in conflict analysis."""
+        activity = self._learned_activity.get(cid)
+        if activity is None:
+            return
+        activity += self._cla_inc
+        self._learned_activity[cid] = activity
+        if activity > 1e20:
+            for other in self._learned_activity:
+                self._learned_activity[other] *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _analyze(self, conflict: int) -> Tuple[List[int], int, ProofChain]:
         """First-UIP conflict analysis.
@@ -511,6 +555,7 @@ class Solver:
 
         antecedents: List[int] = [conflict]
         pivots: List[int] = []
+        self._bump_clause_activity(conflict)
 
         while True:
             for lit in self._clauses[clause_id]:
@@ -537,6 +582,7 @@ class Solver:
             clause_id = reason_id
             antecedents.append(reason_id)
             pivots.append(var_of(resolve_lit))
+            self._bump_clause_activity(reason_id)
 
         if len(learned) == 1:
             backtrack = 0
@@ -580,15 +626,54 @@ class Solver:
             pivots.append(var)
         return tuple(antecedents), tuple(pivots)
 
-    def _record_learned(self, clause: List[int], proof_chain: ProofChain) -> int:
+    def _record_learned(self, clause: List[int], proof_chain: ProofChain, lbd: int = 1) -> int:
         cid = len(self._clauses)
         self._clauses.append(list(clause))
         self._clause_learned.append(True)
         self.clause_proof.append(proof_chain if self.proof_logging else None)
         self.stats.learned_clauses += 1
+        self._learned_activity[cid] = self._cla_inc
+        self._learned_lbd[cid] = lbd
         if len(clause) >= 2:
             self._watch_clause(cid)
         return cid
+
+    # ------------------------------------------------------------------
+    # learned-clause database reduction (clause GC)
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        """Delete the less useful half of the removable learned clauses.
+
+        Clauses are ranked Glucose-style: higher literal-block distance first,
+        then lower activity.  *Glue* clauses (LBD <= 2), binary/unit clauses
+        and clauses currently locked as the reason of an assignment are never
+        deleted.  Deletion empties the clause in place (clause ids stay
+        stable for the proof/interpolation machinery); watch lists drop the
+        dead entries lazily during propagation.
+        """
+        locked = set()
+        for lit in self._trail:
+            reason = self._reason[var_of(lit)]
+            if reason is not None:
+                locked.add(reason)
+        clauses = self._clauses
+        candidates = [
+            cid
+            for cid, lbd in self._learned_lbd.items()
+            if lbd > 2 and len(clauses[cid]) > 2 and cid not in locked
+        ]
+        self.stats.reduce_db += 1
+        self._next_reduce = int(self._next_reduce * self.reduce_growth) + 1
+        if not candidates:
+            return
+        activity = self._learned_activity
+        lbds = self._learned_lbd
+        candidates.sort(key=lambda cid: (-lbds[cid], activity[cid]))
+        for cid in candidates[: len(candidates) // 2]:
+            clauses[cid] = []
+            del activity[cid]
+            del lbds[cid]
+            self.stats.deleted_clauses += 1
 
     # ------------------------------------------------------------------
     # search
@@ -657,11 +742,18 @@ class Solver:
                     self._cancel_until(0)
                     return SolverResult.UNKNOWN
                 learned, backtrack, chain = self._analyze(conflict)
+                # literal-block distance, while the conflict levels are live
+                lbd = len({self._level[var_of(lit)] for lit in learned})
                 self._decay_activities()
                 self._cancel_until(backtrack)
-                cid = self._record_learned(learned, chain)
+                cid = self._record_learned(learned, chain, lbd)
                 if self._value(learned[0]) is None:
                     self._enqueue(learned[0], cid)
+                if (
+                    not self.proof_logging
+                    and len(self._learned_activity) >= self._next_reduce
+                ):
+                    self._reduce_db()
                 continue
 
             if conflicts_since_restart >= restart_limit:

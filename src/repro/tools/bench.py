@@ -14,12 +14,19 @@ Results are written to ``BENCH_unroll.json`` so that successive performance
 PRs have a trajectory to compare against: the ``summary`` section records the
 per-benchmark encode+solve speedups, the count of benchmarks at or above the
 3x target, and whether every verdict pair matched.
+
+``--portfolio`` switches the harness into portfolio mode: every default
+portfolio configuration is first timed *individually* on each design, then
+the process-parallel :class:`repro.engines.portfolio.PortfolioRunner` races
+them, and ``BENCH_portfolio.json`` records the portfolio wall-clock against
+the fastest and slowest *winning* single engine per design.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from typing import Dict, List, Optional
@@ -31,12 +38,22 @@ from repro.engines.interpolation import InterpolationEngine
 from repro.engines.kiki import KikiEngine
 from repro.engines.kinduction import KInductionEngine
 from repro.engines.pdr import PDREngine
+from repro.engines.portfolio import (
+    PortfolioRunner,
+    VerificationTask,
+    default_portfolio_configs,
+)
+from repro.engines.registry import make_engine
+from repro.engines.result import Status
 from repro.smt import BVResult
 
 #: default designs for the deep-unroll comparison (encode-dominated datapaths)
 DEFAULT_BMC_BENCHMARKS = ["mac16", "barrel16", "huffman_enc", "daio"]
 #: default designs for the end-to-end engine comparison (small control logic)
 DEFAULT_ENGINE_BENCHMARKS = ["huffman_dec", "proc3", "buffalloc", "arbiter"]
+#: default designs for the portfolio-vs-single comparison: a mix where the
+#: fastest winner differs (BMC refutes daio/tlc, the provers win the rest)
+DEFAULT_PORTFOLIO_BENCHMARKS = ["daio", "tlc", "buffalloc", "huffman_dec"]
 
 ENGINE_FACTORIES = {
     "k-induction": lambda system, template: KInductionEngine(
@@ -196,12 +213,144 @@ def run_engine_section(names: List[str], engines: List[str], timeout: float) -> 
     return rows
 
 
+def run_portfolio_section(
+    names: List[str],
+    bound: int,
+    timeout: float,
+    jobs: Optional[int] = None,
+) -> List[Dict]:
+    """Portfolio wall-clock vs. individually-timed single engines per design."""
+    configs = default_portfolio_configs(bound=bound)
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        expected = benchmark.expected
+
+        singles: Dict[str, Dict[str, object]] = {}
+        for config in configs:
+            system = benchmark.load()
+            t0 = time.monotonic()
+            result = make_engine(
+                config.engine,
+                system,
+                ignore_unknown_options=True,
+                **config.options_dict,
+            ).verify(timeout=timeout)
+            singles[config.label] = {
+                "status": result.status,
+                "runtime_s": round(time.monotonic() - t0, 6),
+                "correct": result.status == expected,
+            }
+
+        runner = PortfolioRunner(
+            configs=configs, timeout=timeout, max_workers=jobs, expected=expected
+        )
+        portfolio = runner.run(VerificationTask.benchmark(name))
+
+        winners = {
+            label: row for label, row in singles.items() if row["correct"]
+        }
+        best_single = min(
+            (row["runtime_s"] for row in winners.values()), default=None
+        )
+        slowest_winning = max(
+            (row["runtime_s"] for row in winners.values()), default=None
+        )
+        within_slowest = (
+            slowest_winning is not None and portfolio.runtime <= slowest_winning
+        )
+        row = {
+            "benchmark": name,
+            "expected": expected,
+            "portfolio": {
+                "status": portfolio.status,
+                "winner": portfolio.winner,
+                "wall_s": round(portfolio.runtime, 6),
+                "workers": {
+                    outcome.label: outcome.status for outcome in portfolio.workers
+                },
+                "correct": portfolio.status == expected,
+            },
+            "singles": singles,
+            "best_single_s": best_single,
+            "slowest_winning_single_s": slowest_winning,
+            "portfolio_within_slowest_winning": within_slowest,
+            "portfolio_vs_best_single": (
+                round(portfolio.runtime / best_single, 2)
+                if best_single
+                else None
+            ),
+        }
+        rows.append(row)
+        print(
+            f"pfl {name:12s} portfolio={portfolio.runtime:.3f}s/{portfolio.status} "
+            f"winner={portfolio.winner} best_single={best_single} "
+            f"slowest_winning={slowest_winning} "
+            f"{'OK' if row['portfolio']['correct'] else 'WRONG'}"
+        )
+    return rows
+
+
+def write_portfolio_report(rows: List[Dict], out: str, depth: int, timeout: float) -> bool:
+    """Write ``BENCH_portfolio.json``; returns True when all verdicts are correct."""
+    all_correct = all(row["portfolio"]["correct"] for row in rows)
+    report = {
+        "meta": {
+            "tool": "repro.tools.bench --portfolio",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "depth": depth,
+            "timeout_s": timeout,
+        },
+        "portfolio": rows,
+        "summary": {
+            "designs": len(rows),
+            "all_verdicts_correct": all_correct,
+            "designs_within_slowest_winning_single": sum(
+                1 for row in rows if row["portfolio_within_slowest_winning"]
+            ),
+            "portfolio_vs_best_single": {
+                row["benchmark"]: row["portfolio_vs_best_single"] for row in rows
+            },
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nwrote {out}: "
+        f"{report['summary']['designs_within_slowest_winning_single']}/{len(rows)} designs "
+        f"with portfolio <= slowest winning single, verdicts "
+        f"{'all correct' if all_correct else 'WRONG'}"
+    )
+    return all_correct
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="repro-bench", description="time template vs legacy unrolling"
+        prog="repro-bench",
+        description="time template vs legacy unrolling, or the parallel portfolio",
     )
-    parser.add_argument("--out", default="BENCH_unroll.json", help="output JSON path")
-    parser.add_argument("--depth", type=int, default=32, help="BMC unroll depth")
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default BENCH_unroll.json, or BENCH_portfolio.json "
+             "in --portfolio mode)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=None,
+        help="BMC unroll depth / portfolio search-depth cap "
+             "(default 32, or 80 in --portfolio mode so the cycle-64/65 bugs "
+             "of the unsafe designs stay reachable)",
+    )
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="portfolio mode: race the portfolio against individually timed engines",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="portfolio worker-process cap (default: one per configuration)",
+    )
     parser.add_argument(
         "--representation", default="word", choices=["word", "bit"],
         help="frame encoding for the BMC section",
@@ -231,6 +380,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.portfolio:
+        depth = args.depth if args.depth is not None else 80
+        names = args.benchmarks if args.benchmarks else DEFAULT_PORTFOLIO_BENCHMARKS
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        rows = run_portfolio_section(names, depth, args.timeout, jobs=args.jobs)
+        out = args.out or "BENCH_portfolio.json"
+        return 0 if write_portfolio_report(rows, out, depth, args.timeout) else 1
+
+    args.depth = args.depth if args.depth is not None else 32
+    args.out = args.out or "BENCH_unroll.json"
     bmc_names = args.benchmarks if args.benchmarks else DEFAULT_BMC_BENCHMARKS
     engine_names = (
         args.engine_benchmarks if args.engine_benchmarks else DEFAULT_ENGINE_BENCHMARKS

@@ -1,0 +1,280 @@
+"""The ``repro-verify`` command-line front end.
+
+One entry point over the whole engine zoo: point it at a suite design (by
+name) or at a Verilog/AIGER file, pick a single engine (``--engine``) or the
+process-parallel portfolio (``--portfolio``), and read the verdict off a
+result table::
+
+    repro-verify daio --portfolio --timeout 60
+    repro-verify designs/fifo.v --engine pdr --bound 32
+    repro-verify counter.aag --engine k-induction
+    repro-verify --list-engines
+    repro-verify --list-designs
+
+Exit codes: 0 for a definitive answer consistent with the known ground truth
+(if any), 1 for a wrong or error result, 2 for unknown/timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.benchmarks import BENCHMARKS, get_benchmark
+from repro.engines import (
+    EngineOptionError,
+    PortfolioResult,
+    PortfolioRunner,
+    Status,
+    VerificationResult,
+    VerificationTask,
+    default_portfolio_configs,
+    get_registration,
+    list_engines,
+    make_engine,
+)
+from repro.engines.portfolio import bound_options
+
+#: exit codes by final status
+_EXIT_CODES = {
+    Status.SAFE: 0,
+    Status.UNSAFE: 0,
+    Status.UNKNOWN: 2,
+    Status.TIMEOUT: 2,
+    Status.MEMOUT: 2,
+    Status.ERROR: 1,
+    Status.WRONG: 1,
+}
+
+
+def _resolve_task(target: str) -> VerificationTask:
+    """Map the positional target onto a loader: suite name or HDL file."""
+    lowered = target.lower()
+    if lowered.endswith((".v", ".sv")):
+        return VerificationTask.verilog(target)
+    if lowered.endswith(".aag"):
+        return VerificationTask.aiger(target)
+    if lowered.endswith(".aig"):
+        raise SystemExit(
+            "error: binary AIGER (.aig) is not supported; convert to ASCII "
+            "AIGER (.aag) first (aigtoaig design.aig design.aag)"
+        )
+    if target in BENCHMARKS:
+        return VerificationTask.benchmark(target)
+    raise SystemExit(
+        f"error: {target!r} is neither a suite design nor a .v/.sv/.aag file; "
+        f"suite designs: {', '.join(BENCHMARKS)}"
+    )
+
+
+def _print_engine_table() -> None:
+    print(f"{'engine':16s} {'aliases':28s} {'capabilities':22s} summary")
+    print("-" * 100)
+    for registration in list_engines():
+        aliases = ", ".join(registration.aliases) or "-"
+        capabilities = registration.capabilities.describe()
+        portfolio = " [portfolio]" if registration.portfolio else ""
+        print(
+            f"{registration.name:16s} {aliases:28s} {capabilities:22s} "
+            f"{registration.summary}{portfolio}"
+        )
+
+
+def _print_design_table() -> None:
+    print(f"{'design':14s} {'expected':9s} {'bug@':5s} {'category':9s} description")
+    print("-" * 90)
+    for benchmark in BENCHMARKS.values():
+        bug = str(benchmark.bug_cycle) if benchmark.bug_cycle is not None else "-"
+        print(
+            f"{benchmark.name:14s} {benchmark.expected:9s} {bug:5s} "
+            f"{benchmark.category:9s} {benchmark.description}"
+        )
+
+
+def _row(label: str, status: str, runtime: float, note: str = "") -> str:
+    return f"{label:24s} {status:10s} {runtime:9.3f}s  {note}"
+
+
+def _print_header(label: str) -> None:
+    print(f"{label:24s} {'status':10s} {'time':>10s}")
+    print("-" * 64)
+
+
+def _format_detail(detail: Dict[str, object]) -> str:
+    interesting = {
+        key: value
+        for key, value in detail.items()
+        if key in ("bound", "k", "depth", "frames", "iterations", "bound_reached", "k_reached")
+    }
+    return ", ".join(f"{key}={value}" for key, value in interesting.items())
+
+
+def _print_single(result: VerificationResult) -> None:
+    _print_header("engine")
+    note = _format_detail(result.detail) or result.reason
+    print(_row(result.engine, result.status, result.runtime, note))
+    if result.counterexample is not None:
+        print(
+            f"\ncounterexample: {result.counterexample.length} cycles "
+            f"(property {result.property_name!r} violated in the last step)"
+        )
+
+
+def _print_portfolio(result: PortfolioResult) -> None:
+    _print_header("configuration")
+    for outcome in result.workers:
+        if outcome.result is not None:
+            note = _format_detail(outcome.result.detail) or outcome.result.reason
+            status = outcome.result.status
+        else:
+            note = ""
+            status = outcome.state
+        marker = " <- winner" if outcome.label == result.winner else ""
+        print(_row(outcome.label, status, outcome.runtime, f"{note}{marker}"))
+    print("-" * 64)
+    print(_row("portfolio", result.status, result.runtime, result.reason))
+    if result.counterexample is not None:
+        print(
+            f"\ncounterexample: {result.counterexample.length} cycles "
+            f"(property {result.property_name!r} violated in the last step)"
+        )
+
+
+def _classify(status: str, expected: Optional[str]) -> str:
+    """Apply the harness-side WRONG classification against known ground truth."""
+    if expected is not None and status in Status.DEFINITIVE and status != expected:
+        return Status.WRONG
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="verify a hardware design with one engine or the parallel portfolio",
+    )
+    parser.add_argument(
+        "target", nargs="?",
+        help="suite design name, or path to a Verilog (.v/.sv) or ASCII AIGER (.aag) file",
+    )
+    parser.add_argument("--engine", help="run a single engine (see --list-engines)")
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="race the portfolio engines in parallel worker processes",
+    )
+    parser.add_argument("--property", dest="property_name", default=None,
+                        help="property to check (default: the design's first)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="wall-clock budget in seconds (default 300)")
+    parser.add_argument("--bound", type=int, default=None,
+                        help="search-depth cap routed to each engine "
+                             "(max_bound/max_k/max_depth/max_frames)")
+    parser.add_argument("--representation", default=None, choices=["word", "bit"],
+                        help="frame encoding (default word; in portfolio mode "
+                             "narrows the fan-out to this representation)")
+    parser.add_argument("--representations", nargs="*", default=["word"],
+                        choices=["word", "bit"], metavar="REP",
+                        help="representations fanned out in portfolio mode")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="portfolio worker-process cap (default: one per configuration)")
+    parser.add_argument("--cross-check", action="store_true",
+                        help="portfolio mode: let all workers finish and flag "
+                             "disagreeing definitive answers as WRONG")
+    parser.add_argument("--expected", choices=["safe", "unsafe"], default=None,
+                        help="override the known verdict used for the WRONG classification")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress events")
+    parser.add_argument("--list-engines", action="store_true",
+                        help="list registered engines with aliases and capabilities")
+    parser.add_argument("--list-designs", action="store_true",
+                        help="list the built-in benchmark designs")
+    args = parser.parse_args(argv)
+
+    if args.list_engines:
+        _print_engine_table()
+        return 0
+    if args.list_designs:
+        _print_design_table()
+        return 0
+    if not args.target:
+        parser.error("a target design is required (or --list-engines/--list-designs)")
+    if args.engine and args.portfolio:
+        parser.error("--engine and --portfolio are mutually exclusive")
+    if not args.engine and not args.portfolio:
+        args.portfolio = True  # the portfolio is the default driver
+
+    task = _resolve_task(args.target)
+    expected = args.expected
+    if expected is None and task.kind == "benchmark":
+        expected = get_benchmark(task.spec).expected
+
+    if args.engine:
+        try:
+            registration = get_registration(args.engine)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        # the shared depth cap is *routed* (each engine keeps the key it
+        # understands); explicitly passed options are validated strictly
+        options: Dict[str, object] = {}
+        if args.bound is not None:
+            options.update(
+                registration.engine_class.validate_options(
+                    bound_options(args.bound), ignore_unknown=True
+                )
+            )
+        if args.representation:
+            options["representation"] = args.representation
+        try:
+            system = task.load()
+            engine = make_engine(args.engine, system, **options)
+        except EngineOptionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except Exception as error:  # noqa: BLE001 - loader/parse failures
+            print(f"error: cannot load {task.name!r}: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"verifying {task.name!r} with engine {args.engine} "
+            f"(timeout {args.timeout:g}s)"
+        )
+        result = engine.verify(args.property_name, timeout=args.timeout)
+        result.status = _classify(result.status, expected)
+        _print_single(result)
+        return _EXIT_CODES.get(result.status, 1)
+
+    # --representation (the single-engine spelling) narrows the portfolio too
+    representations = (
+        [args.representation] if args.representation else args.representations
+    )
+    configs = default_portfolio_configs(
+        representations=representations, bound=args.bound
+    )
+
+    def on_event(event: Dict[str, object]) -> None:
+        if args.quiet:
+            return
+        kind = event.pop("event")
+        label = event.pop("label", "")
+        extras = ", ".join(f"{key}={value}" for key, value in event.items() if value)
+        print(f"  [{time.strftime('%H:%M:%S')}] {kind:9s} {label:24s} {extras}")
+
+    runner = PortfolioRunner(
+        configs=configs,
+        timeout=args.timeout,
+        max_workers=args.jobs,
+        cross_check=args.cross_check,
+        expected=expected,
+        on_event=on_event,
+    )
+    print(
+        f"racing {len(configs)} configurations on {task.name!r} "
+        f"(timeout {args.timeout:g}s{', cross-check' if args.cross_check else ''})"
+    )
+    result = runner.run(task, args.property_name)
+    _print_portfolio(result)
+    return _EXIT_CODES.get(result.status, 1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
