@@ -1,0 +1,128 @@
+"""JSON serialization of word-level expressions.
+
+Certificates carry invariants as :class:`repro.exprs.Expr` trees; to make
+them portable artefacts (written next to benchmark reports, uploaded from CI,
+re-validated by a later run) they serialize to a small JSON node format:
+
+* constant — ``["c", value, width]``
+* variable — ``["v", name, width]``
+* operator — ``["o", op, width, [params...], [args...]]``
+
+Both directions are iterative so that wide invariants (PDR frame
+conjunctions, interpolant disjunctions) do not hit the interpreter recursion
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exprs.nodes import BV_OPS, Const, Expr, Op, Var
+
+
+class ExprJsonError(ValueError):
+    """Raised when a JSON document does not encode a well-formed expression."""
+
+
+def expr_to_json(expr: Expr) -> list:
+    """Serialize an expression tree to the JSON node format."""
+    # iterative post-order: build child documents before their parent
+    done: dict = {}
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack[-1]
+        if id(node) in done:
+            stack.pop()
+            continue
+        if isinstance(node, Const):
+            done[id(node)] = ["c", node.value, node.width]
+            stack.pop()
+            continue
+        if isinstance(node, Var):
+            done[id(node)] = ["v", node.name, node.width]
+            stack.pop()
+            continue
+        if not isinstance(node, Op):
+            raise ExprJsonError(f"cannot serialize {type(node).__name__}")
+        pending = [arg for arg in node.args if id(arg) not in done]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        done[id(node)] = [
+            "o",
+            node.op,
+            node.width,
+            list(node.params),
+            [done[id(arg)] for arg in node.args],
+        ]
+    return done[id(expr)]
+
+
+def expr_from_json(document: object) -> Expr:
+    """Rebuild an expression from its JSON node format (validating as it goes)."""
+    if not isinstance(document, (list, tuple)) or not document:
+        raise ExprJsonError(f"malformed expression node: {document!r}")
+    tag = document[0]
+    if tag == "c":
+        _expect(len(document) == 3, document)
+        value, width = document[1], document[2]
+        _expect(isinstance(value, int) and isinstance(width, int) and width > 0, document)
+        return Const(value, width)
+    if tag == "v":
+        _expect(len(document) == 3, document)
+        name, width = document[1], document[2]
+        _expect(isinstance(name, str) and isinstance(width, int) and width > 0, document)
+        return Var(name, width)
+    if tag == "o":
+        _expect(len(document) == 5, document)
+        op, width, params, args = document[1], document[2], document[3], document[4]
+        _expect(op in BV_OPS, document)
+        _expect(isinstance(width, int) and width > 0, document)
+        _expect(isinstance(params, (list, tuple)), document)
+        _expect(all(isinstance(p, int) for p in params), document)
+        _expect(isinstance(args, (list, tuple)) and args, document)
+        # iterative rebuild to mirror expr_to_json; recursion only on the
+        # first unvisited child per step, flattened via an explicit stack
+        return _op_from_json(document)
+    raise ExprJsonError(f"unknown expression node tag {tag!r}")
+
+
+def _op_from_json(document: object) -> Expr:
+    """Iteratively rebuild an operator node and its subtree."""
+    built: dict = {}
+    stack = [document]
+    while stack:
+        node = stack[-1]
+        key = id(node)
+        if key in built:
+            stack.pop()
+            continue
+        if not isinstance(node, (list, tuple)) or not node or node[0] not in ("o",):
+            # leaves and malformed nodes go through the validating entry point
+            built[key] = expr_from_json(node)
+            stack.pop()
+            continue
+        _expect(len(node) == 5, node)
+        args = node[4]
+        _expect(isinstance(args, (list, tuple)) and args, node)
+        pending = [arg for arg in args if id(arg) not in built]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        op, width, params = node[1], node[2], node[3]
+        _expect(op in BV_OPS, node)
+        _expect(isinstance(width, int) and width > 0, node)
+        _expect(isinstance(params, (list, tuple)), node)
+        _expect(all(isinstance(p, int) for p in params), node)
+        try:
+            built[key] = Op(op, [built[id(arg)] for arg in args], width, tuple(params))
+        except (TypeError, ValueError) as error:
+            raise ExprJsonError(f"malformed operator node: {error}") from error
+    return built[id(document)]
+
+
+def _expect(condition: bool, document: object) -> None:
+    if not condition:
+        raise ExprJsonError(f"malformed expression node: {document!r}")

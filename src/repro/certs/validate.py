@@ -1,0 +1,444 @@
+"""Independent validation of witnesses and safety certificates.
+
+The validator deliberately shares no code with the producing engines: it
+never touches :class:`repro.engines.encoding.FrameEncoder`, the frame
+templates or any engine module.  Witnesses are replayed *concretely* through
+the reference simulator (:func:`repro.netlist.simulate.replay`); safety
+certificates are discharged with fresh SAT queries over expressions the
+validator stamps itself (``name#frame``), one fresh solver per obligation:
+
+* inductive invariant ``Inv`` — ``Init ∧ C ⊆ Inv``, ``Inv ∧ C ∧ T ⊆ Inv′``
+  and ``Inv ∧ C ⊆ P`` (``C`` are the design's environment constraints, which
+  scope reachability),
+* k-inductive claim — the auxiliary invariants are jointly inductive, the
+  property holds in the first ``k`` frames from reset, and ``k`` consecutive
+  property frames (under the auxiliary invariants and optionally the
+  simple-path side condition) force the property in frame ``k``.
+
+Each obligation is recorded separately so a failed validation names exactly
+which proof step broke.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.certs.certificate import (
+    INDUCTIVE,
+    K_INDUCTIVE,
+    WITNESS,
+    InductiveCertificate,
+    KInductiveCertificate,
+    Witness,
+)
+from repro.exprs import (
+    Expr,
+    TRUE,
+    bool_and,
+    bool_not,
+    bool_or,
+    bv_eq,
+    bv_ne,
+    bv_var,
+    collect_vars,
+    evaluate,
+)
+from repro.exprs.substitute import rename
+from repro.netlist import TransitionSystem
+from repro.netlist.simulate import replay
+from repro.smt import BVResult, BVSolver
+
+#: validation outcome of one obligation
+HOLDS = "holds"
+FAILED = "failed"
+UNDECIDED = "undecided"  # solver gave up (deadline)
+
+
+@dataclass
+class Obligation:
+    """One discharged (or failed) proof obligation."""
+
+    name: str
+    outcome: str
+    note: str = ""
+
+    @property
+    def holds(self) -> bool:
+        return self.outcome == HOLDS
+
+
+@dataclass
+class ValidationResult:
+    """The outcome of validating one certificate against one design."""
+
+    ok: bool
+    kind: str
+    property_name: str
+    engine: str = ""
+    obligations: List[Obligation] = field(default_factory=list)
+    reason: str = ""
+    runtime: float = 0.0
+
+    def failed_obligations(self) -> List[Obligation]:
+        return [o for o in self.obligations if not o.holds]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "kind": self.kind,
+            "property": self.property_name,
+            "engine": self.engine,
+            "obligations": {o.name: o.outcome for o in self.obligations},
+            "reason": self.reason,
+            "runtime_s": round(self.runtime, 6),
+        }
+
+
+class CertificateValidator:
+    """Discharges certificate obligations against one transition system."""
+
+    def __init__(self, system: TransitionSystem, timeout: Optional[float] = None) -> None:
+        self.system = system
+        self.flat = system.flattened()
+        self.flat.validate()
+        self.timeout = timeout
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def validate(self, certificate) -> ValidationResult:
+        """Validate any certificate kind; never raises on bad certificates."""
+        start = time.monotonic()
+        self._deadline = None if self.timeout is None else start + self.timeout
+        kind = getattr(certificate, "kind", None)
+        try:
+            if kind == WITNESS:
+                result = self._validate_witness(certificate)
+            elif kind == INDUCTIVE:
+                result = self._validate_inductive(certificate)
+            elif kind == K_INDUCTIVE:
+                result = self._validate_k_inductive(certificate)
+            else:
+                result = ValidationResult(
+                    False, str(kind), "", reason=f"unknown certificate kind {kind!r}"
+                )
+        except Exception as error:  # noqa: BLE001 - malformed certificates
+            result = ValidationResult(
+                False,
+                str(kind),
+                getattr(certificate, "property_name", ""),
+                engine=getattr(certificate, "engine", ""),
+                reason=f"{type(error).__name__}: {error}",
+            )
+        result.runtime = time.monotonic() - start
+        return result
+
+    # ------------------------------------------------------------------
+    # witness replay
+    # ------------------------------------------------------------------
+    def _validate_witness(self, witness: Witness) -> ValidationResult:
+        result = ValidationResult(
+            False, WITNESS, witness.property_name, engine=witness.engine
+        )
+        try:
+            prop = self.system.property_by_name(witness.property_name)
+        except KeyError:
+            result.reason = f"design declares no property {witness.property_name!r}"
+            result.obligations.append(Obligation("property-exists", FAILED))
+            return result
+        result.obligations.append(Obligation("property-exists", HOLDS))
+        if not witness.inputs:
+            result.reason = "witness has no cycles"
+            result.obligations.append(Obligation("violation-reached", FAILED))
+            return result
+
+        # replay the full trace and evaluate the *claimed* property per cycle
+        # (another property failing earlier must not mask the violation)
+        trace = replay(self.system, witness.input_sequence())
+        observed_cycle = None
+        for step in trace.steps:
+            env = {**step.state, **step.inputs, **step.wires}
+            if evaluate(prop.expr, env) == 0:
+                observed_cycle = step.cycle
+                break
+        if observed_cycle is None:
+            result.reason = (
+                f"replay never violates {witness.property_name!r} "
+                f"within {witness.length} cycles"
+            )
+            result.obligations.append(Obligation("violation-reached", FAILED, result.reason))
+            return result
+        note = f"violated at cycle {observed_cycle} (claimed {witness.violation_cycle})"
+        result.obligations.append(Obligation("violation-reached", HOLDS, note))
+        result.ok = True
+        result.reason = note
+        return result
+
+    # ------------------------------------------------------------------
+    # expression stamping (independent of the engines' frame encoder)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _at(expr: Expr, frame: int) -> Expr:
+        return rename(expr, lambda name: f"{name}#{frame}")
+
+    def _init_expr(self) -> Expr:
+        return bool_and(
+            *[
+                bv_eq(bv_var(name, width), self.flat.init[name])
+                for name, width in self.flat.state_vars.items()
+            ]
+        )
+
+    def _trans_exprs(self, frame: int) -> List[Expr]:
+        """Transition from ``frame`` to ``frame + 1`` plus constraints at ``frame``."""
+        exprs = []
+        for name, next_expr in self.flat.next.items():
+            target = bv_var(f"{name}#{frame + 1}", self.flat.state_vars[name])
+            exprs.append(bv_eq(target, self._at(next_expr, frame)))
+        exprs.extend(self._at(constraint, frame) for constraint in self.flat.constraints)
+        return exprs
+
+    def _constraints_at(self, frame: int) -> List[Expr]:
+        return [self._at(constraint, frame) for constraint in self.flat.constraints]
+
+    def _unsat(self, exprs: List[Expr]) -> str:
+        """Check a conjunction with a fresh solver; HOLDS iff unsatisfiable."""
+        solver = BVSolver()
+        solver.set_deadline(self._deadline)
+        for expr in exprs:
+            solver.assert_expr(expr)
+        outcome = solver.check()
+        if outcome == BVResult.UNSAT:
+            return HOLDS
+        if outcome == BVResult.SAT:
+            return FAILED
+        return UNDECIDED
+
+    def _check_state_expr(self, expr: Expr, label: str) -> Optional[str]:
+        """Reject invariants mentioning signals that are not state variables."""
+        for var in collect_vars(expr):
+            if var.name not in self.flat.state_vars:
+                return f"{label} mentions non-state signal {var.name!r}"
+            if var.width != self.flat.state_vars[var.name]:
+                return (
+                    f"{label} uses {var.name!r} with width {var.width}, "
+                    f"declared {self.flat.state_vars[var.name]}"
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # inductive invariants
+    # ------------------------------------------------------------------
+    def _validate_inductive(self, certificate: InductiveCertificate) -> ValidationResult:
+        result = ValidationResult(
+            False, INDUCTIVE, certificate.property_name, engine=certificate.engine
+        )
+        try:
+            prop = self.flat.property_by_name(certificate.property_name)
+        except KeyError:
+            result.reason = f"design declares no property {certificate.property_name!r}"
+            result.obligations.append(Obligation("property-exists", FAILED))
+            return result
+        invariant = certificate.invariant
+        if invariant.width != 1:
+            result.reason = "invariant is not a 1-bit expression"
+            result.obligations.append(Obligation("well-formed", FAILED, result.reason))
+            return result
+        complaint = self._check_state_expr(invariant, "invariant")
+        if complaint is not None:
+            result.reason = complaint
+            result.obligations.append(Obligation("well-formed", FAILED, complaint))
+            return result
+        result.obligations.append(Obligation("well-formed", HOLDS))
+
+        checks = [
+            (
+                "init",  # Init ∧ C ⊆ Inv
+                [self._at(self._init_expr(), 0)]
+                + self._constraints_at(0)
+                + [self._at(bool_not(invariant), 0)],
+            ),
+            (
+                "consecution",  # Inv ∧ C ∧ T ⊆ Inv′
+                [self._at(invariant, 0)]
+                + self._trans_exprs(0)
+                + [self._at(bool_not(invariant), 1)],
+            ),
+            (
+                "property",  # Inv ∧ C ⊆ P
+                [self._at(invariant, 0)]
+                + self._constraints_at(0)
+                + [self._at(bool_not(prop.expr), 0)],
+            ),
+        ]
+        return self._discharge(result, checks)
+
+    # ------------------------------------------------------------------
+    # k-induction
+    # ------------------------------------------------------------------
+    def _validate_k_inductive(self, certificate: KInductiveCertificate) -> ValidationResult:
+        result = ValidationResult(
+            False, K_INDUCTIVE, certificate.property_name, engine=certificate.engine
+        )
+        try:
+            prop = self.flat.property_by_name(certificate.property_name)
+        except KeyError:
+            result.reason = f"design declares no property {certificate.property_name!r}"
+            result.obligations.append(Obligation("property-exists", FAILED))
+            return result
+        if certificate.k < 1:
+            result.reason = f"k must be >= 1, got {certificate.k}"
+            result.obligations.append(Obligation("well-formed", FAILED, result.reason))
+            return result
+        for invariant in certificate.invariants:
+            complaint = (
+                "auxiliary invariant is not a 1-bit expression"
+                if invariant.width != 1
+                else self._check_state_expr(invariant, "auxiliary invariant")
+            )
+            if complaint is not None:
+                result.reason = complaint
+                result.obligations.append(Obligation("well-formed", FAILED, complaint))
+                return result
+        result.obligations.append(Obligation("well-formed", HOLDS))
+
+        k = certificate.k
+        aux = bool_and(*certificate.invariants) if certificate.invariants else TRUE
+        checks = []
+        if certificate.invariants:
+            checks.append(
+                (
+                    "aux-init",  # Init ∧ C ⊆ A
+                    [self._at(self._init_expr(), 0)]
+                    + self._constraints_at(0)
+                    + [self._at(bool_not(aux), 0)],
+                )
+            )
+            checks.append(
+                (
+                    "aux-consecution",  # A ∧ C ∧ T ⊆ A′
+                    [self._at(aux, 0)]
+                    + self._trans_exprs(0)
+                    + [self._at(bool_not(aux), 1)],
+                )
+            )
+
+        # base: from reset, P holds in frames 0 .. k-1
+        base: List[Expr] = [self._at(self._init_expr(), 0)]
+        for frame in range(k - 1):
+            base.extend(self._trans_exprs(frame))
+        base.extend(self._constraints_at(k - 1))
+        base.append(
+            bool_not(bool_and(*[self._at(prop.expr, frame) for frame in range(k)]))
+        )
+        checks.append(("base", base))
+
+        # step: k consecutive (P ∧ A)-frames force P in frame k
+        step: List[Expr] = []
+        for frame in range(k):
+            step.append(self._at(prop.expr, frame))
+            step.append(self._at(aux, frame))
+            step.extend(self._trans_exprs(frame))
+        step.append(self._at(aux, k))
+        step.extend(self._constraints_at(k))
+        if certificate.simple_path:
+            step.extend(self._simple_path_exprs(k))
+        step.append(self._at(bool_not(prop.expr), k))
+        checks.append(("step", step))
+        return self._discharge(result, checks)
+
+    def _simple_path_exprs(self, last_frame: int) -> List[Expr]:
+        """Pairwise-distinct state constraints over frames 0 .. last_frame."""
+        exprs = []
+        for i in range(last_frame + 1):
+            for j in range(i + 1, last_frame + 1):
+                differences = [
+                    bv_ne(
+                        bv_var(f"{name}#{i}", width),
+                        bv_var(f"{name}#{j}", width),
+                    )
+                    for name, width in self.flat.state_vars.items()
+                ]
+                exprs.append(bool_or(*differences))
+        return exprs
+
+    # ------------------------------------------------------------------
+    def _discharge(
+        self, result: ValidationResult, checks: List[Tuple[str, List[Expr]]]
+    ) -> ValidationResult:
+        all_hold = True
+        for name, exprs in checks:
+            outcome = self._unsat(exprs)
+            result.obligations.append(Obligation(name, outcome))
+            if outcome != HOLDS:
+                all_hold = False
+                if not result.reason:
+                    result.reason = (
+                        f"obligation {name!r} "
+                        f"{'is violated' if outcome == FAILED else 'could not be decided'}"
+                    )
+        result.ok = all_hold
+        if all_hold:
+            result.reason = "all obligations discharged"
+        return result
+
+
+# ---------------------------------------------------------------------------
+# result-level entry points
+# ---------------------------------------------------------------------------
+
+#: which certificate kinds can justify which verdict
+_KINDS_FOR_STATUS = {
+    "unsafe": (WITNESS,),
+    "safe": (INDUCTIVE, K_INDUCTIVE),
+}
+
+
+def validate_certificate(
+    system: TransitionSystem, certificate, timeout: Optional[float] = None
+) -> ValidationResult:
+    """Validate one certificate against a design."""
+    return CertificateValidator(system, timeout=timeout).validate(certificate)
+
+
+def validate_result(
+    system: TransitionSystem, result, timeout: Optional[float] = None
+) -> ValidationResult:
+    """Validate the certificate attached to a :class:`VerificationResult`.
+
+    A definitive verdict without a certificate, or with a certificate kind
+    that cannot justify the claimed status (a witness for SAFE, an invariant
+    for UNSAFE), fails validation outright.
+    """
+    status = getattr(result, "status", None)
+    certificate = getattr(result, "certificate", None)
+    allowed = _KINDS_FOR_STATUS.get(status)
+    if allowed is None:
+        return ValidationResult(
+            False,
+            "",
+            getattr(result, "property_name", ""),
+            engine=getattr(result, "engine", ""),
+            reason=f"status {status!r} is not a certifiable definitive verdict",
+        )
+    if certificate is None:
+        return ValidationResult(
+            False,
+            "",
+            getattr(result, "property_name", ""),
+            engine=getattr(result, "engine", ""),
+            reason=f"no certificate attached to the {status} verdict",
+        )
+    if getattr(certificate, "kind", None) not in allowed:
+        return ValidationResult(
+            False,
+            str(getattr(certificate, "kind", None)),
+            getattr(result, "property_name", ""),
+            engine=getattr(result, "engine", ""),
+            reason=(
+                f"certificate kind {getattr(certificate, 'kind', None)!r} cannot "
+                f"justify a {status} verdict"
+            ),
+        )
+    return validate_certificate(system, certificate, timeout=timeout)

@@ -29,6 +29,7 @@ from repro.engines.impact import ImpactEngine
 from repro.engines.predabs import PredicateAbstractionEngine
 from repro.engines.absint import AbstractInterpretationEngine
 from repro.engines.kiki import KikiEngine
+from repro.engines.oracle import OracleEngine
 from repro.engines.registry import (
     ENGINE_REGISTRY,
     EngineRegistration,
@@ -62,6 +63,7 @@ __all__ = [
     "PredicateAbstractionEngine",
     "AbstractInterpretationEngine",
     "KikiEngine",
+    "OracleEngine",
     "ENGINE_REGISTRY",
     "EngineRegistration",
     "get_registration",

@@ -22,9 +22,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.certs import InductiveCertificate
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.result import Budget, Status, VerificationResult
-from repro.exprs import Expr, bv_const, bv_var, bool_and
+from repro.exprs import TRUE, Expr, bv_const, bv_var, bool_and
 from repro.exprs.nodes import Const, Op, Var, mask, to_signed
 from repro.netlist import TransitionSystem
 
@@ -395,6 +396,10 @@ class AbstractInterpretationEngine(Engine):
             "intervals": {name: (iv.lo, iv.hi) for name, iv in intervals.items()},
         }
         if verdict.is_constant and verdict.lo == 1:
+            # the interval box is inductive (it is the fixpoint of the
+            # interval-arithmetic post) and strong enough to imply P
+            constraints = self.invariant_exprs(intervals)
+            invariant = bool_and(*constraints) if constraints else TRUE
             return VerificationResult(
                 Status.SAFE,
                 self.name,
@@ -402,6 +407,7 @@ class AbstractInterpretationEngine(Engine):
                 runtime=runtime,
                 detail=detail,
                 reason="interval invariant implies the property",
+                certificate=InductiveCertificate(property_name, self.name, invariant),
             )
         return VerificationResult(
             Status.UNKNOWN,

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.certs import witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
@@ -85,6 +86,7 @@ class BMCEngine(Engine):
                     runtime=time.monotonic() - start,
                     counterexample=cex,
                     detail={"bound": bound},
+                    certificate=witness_from_counterexample(self.system, self.name, cex),
                 )
             if outcome == BVResult.UNKNOWN:
                 return VerificationResult(

@@ -756,18 +756,36 @@ class FrameEncoder:
     # ------------------------------------------------------------------
     # model extraction
     # ------------------------------------------------------------------
+    def _model_value(self, name: str, frame: int, width: int) -> int:
+        """Model value of a frame-stamped signal, defaulting to 0.
+
+        Signals the encoding never blasted at ``frame`` (e.g. inputs outside
+        the property cone at the violation frame) are unconstrained; they
+        read back as a deterministic 0 *without* allocating fresh solver
+        variables as a side effect of extraction.
+        """
+        stamped = frame_name(name, frame)
+        if not self.solver.blaster.has_var(stamped):
+            return 0
+        return self.solver.value(stamped, width)
+
     def state_at(self, frame: int) -> Dict[str, int]:
         """Read register values at ``frame`` from the last satisfying assignment."""
         values = {}
         for name, width in self.flat.state_vars.items():
-            values[name] = self.solver.value(frame_name(name, frame), width)
+            values[name] = self._model_value(name, frame, width)
         return values
 
     def inputs_at(self, frame: int) -> Dict[str, int]:
-        """Read primary input values at ``frame`` from the last satisfying assignment."""
+        """Read primary input values at ``frame`` from the last satisfying assignment.
+
+        Every declared input is valuated at every frame (unconstrained bits
+        default to 0) so counterexample traces fully determine a concrete
+        replay through :func:`repro.netlist.simulate.replay`.
+        """
         values = {}
         for name, width in self.flat.inputs.items():
-            values[name] = self.solver.value(frame_name(name, frame), width)
+            values[name] = self._model_value(name, frame, width)
         return values
 
     def extract_counterexample(self, property_name: str, length: int) -> Counterexample:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Tuple
 
+from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
@@ -80,6 +81,9 @@ class ImpactEngine(Engine):
                         runtime=time.monotonic() - start,
                         counterexample=cex,
                         detail={"depth": depth},
+                        certificate=witness_from_counterexample(
+                            self.system, self.name, cex
+                        ),
                     )
                 # 3. refine the labels along the infeasible path
                 for cut in range(1, depth + 1):
@@ -99,6 +103,9 @@ class ImpactEngine(Engine):
                         runtime=time.monotonic() - start,
                         detail={"depth": depth, "nodes": depth + 1},
                         reason="covered ART with certified invariant",
+                        certificate=InductiveCertificate(
+                            property_name, self.name, simplify(candidate)
+                        ),
                     )
 
         return VerificationResult(

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Status, VerificationResult
@@ -108,6 +109,9 @@ class InterpolationEngine(Engine):
                             runtime=time.monotonic() - start,
                             counterexample=cex,
                             detail={"depth": depth},
+                            certificate=witness_from_counterexample(
+                                self.system, self.name, cex
+                            ),
                         )
                     # spurious due to over-approximation: deepen and restart
                     depth += 1
@@ -115,6 +119,13 @@ class InterpolationEngine(Engine):
                 # UNSAT: interpolant over-approximates the image of the frontier
                 assert interpolant_expr is not None
                 if self._implies_reached(interpolant_expr, reached_disjuncts, budget):
+                    # the accumulated approximation R = Init ∨ I_1 ∨ ... is an
+                    # inductive invariant: each disjunct over-approximates the
+                    # image of its predecessor and the new interpolant folded
+                    # back into R at the fixpoint
+                    invariant = simplify(
+                        bool_or(self._init_state_expr(), *reached_disjuncts)
+                    )
                     return VerificationResult(
                         Status.SAFE,
                         self.name,
@@ -126,6 +137,9 @@ class InterpolationEngine(Engine):
                             "disjuncts": len(reached_disjuncts) + 1,
                         },
                         reason="interpolant fixpoint reached",
+                        certificate=InductiveCertificate(
+                            property_name, self.name, invariant
+                        ),
                     )
                 reached_disjuncts.append(interpolant_expr)
                 frontier = interpolant_expr
@@ -136,6 +150,17 @@ class InterpolationEngine(Engine):
             runtime=time.monotonic() - start,
             detail={"max_depth": self.max_depth},
             reason="maximum interpolation depth exceeded",
+        )
+
+    # ------------------------------------------------------------------
+    def _init_state_expr(self) -> Expr:
+        """The initial state as a predicate over the unstamped state variables."""
+        flat = self.system.flattened()
+        return bool_and(
+            *[
+                bv_var(name, width).eq(flat.init[name])
+                for name, width in flat.state_vars.items()
+            ]
         )
 
     # ------------------------------------------------------------------
@@ -161,6 +186,7 @@ class InterpolationEngine(Engine):
                 runtime=budget.elapsed(),
                 counterexample=cex,
                 detail={"depth": 0},
+                certificate=witness_from_counterexample(self.system, self.name, cex),
             )
         if outcome == BVResult.UNKNOWN:
             return self._timeout(property_name, budget, 0, 0)

@@ -16,6 +16,7 @@ paper's Figure 5.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import List, Optional
 
@@ -95,6 +96,11 @@ class KikiEngine(Engine):
             incremental_template=self.incremental_template,
         )
         result = engine.verify(property_name, timeout=budget.remaining())
+        # the inner engine's certificate (witness or k-inductive claim with
+        # the strengthening invariants) is re-tagged as ours
+        certificate = result.certificate
+        if certificate is not None:
+            certificate = dataclasses.replace(certificate, engine=self.name)
         result = VerificationResult(
             status=result.status,
             engine=self.name,
@@ -103,6 +109,7 @@ class KikiEngine(Engine):
             counterexample=result.counterexample,
             detail={**result.detail, **interval_detail, "certified_invariants": len(invariants)},
             reason=result.reason,
+            certificate=certificate,
         )
         return result
 

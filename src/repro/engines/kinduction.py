@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional
 
+from repro.certs import KInductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Status, VerificationResult
@@ -93,6 +94,7 @@ class KInductionEngine(Engine):
                     runtime=time.monotonic() - start,
                     counterexample=cex,
                     detail={"k": k},
+                    certificate=witness_from_counterexample(self.system, self.name, cex),
                 )
             if outcome == BVResult.UNKNOWN:
                 return self._timeout(property_name, budget, k)
@@ -114,6 +116,13 @@ class KInductionEngine(Engine):
                     runtime=time.monotonic() - start,
                     detail={"k": k + 1, "simple_path": self.simple_path},
                     reason=f"property is {k + 1}-inductive",
+                    certificate=KInductiveCertificate(
+                        property_name,
+                        self.name,
+                        k=k + 1,
+                        simple_path=self.simple_path,
+                        invariants=tuple(self.strengthening_invariants),
+                    ),
                 )
             if outcome == BVResult.UNKNOWN:
                 return self._timeout(property_name, budget, k)

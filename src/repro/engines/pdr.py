@@ -20,13 +20,14 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.bmc import BMCEngine
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Counterexample, Status, VerificationResult
 from repro.netlist import TransitionSystem
 from repro.smt import BVResult
-from repro.exprs import evaluate
+from repro.exprs import bool_and, bool_not, bool_or, bv_var, evaluate, simplify
 
 
 #: a cube literal: (register name, bit index, value)
@@ -120,6 +121,7 @@ class PDREngine(Engine):
                 runtime=time.monotonic() - start,
                 counterexample=cex,
                 detail={"frames": 0},
+                certificate=witness_from_counterexample(self.system, self.name, cex),
             )
 
         # frames: frames[i] is the set of cubes blocked at level exactly i
@@ -148,6 +150,9 @@ class PDREngine(Engine):
                         runtime=time.monotonic() - start,
                         counterexample=cex,
                         detail={"frames": self._frame_count},
+                        certificate=witness_from_counterexample(
+                            self.system, self.name, cex
+                        ),
                     )
 
             # open a new frame and propagate clauses forward
@@ -169,6 +174,11 @@ class PDREngine(Engine):
                         ),
                     },
                     reason="inductive invariant found",
+                    certificate=InductiveCertificate(
+                        property_name,
+                        self.name,
+                        self._invariant_expr(fixpoint_at, property_name),
+                    ),
                 )
 
         return VerificationResult(
@@ -319,6 +329,30 @@ class PDREngine(Engine):
             if not changed:
                 break
         return frozenset(current)
+
+    # ------------------------------------------------------------------
+    # certificates
+    # ------------------------------------------------------------------
+    def _invariant_expr(self, fixpoint_at: int, property_name: str):
+        """The inductive invariant at the fixpoint: the frame clauses.
+
+        Each blocked cube becomes a clause ``⋁ (register bit ≠ cube value)``
+        over the word-level state variables.  The conjunction of the clauses
+        at levels >= the fixpoint frame is one-step inductive (the relative
+        induction queries that admitted the cubes) and excludes every bad
+        state for every input valuation (the blocking loop left no
+        ``F ∧ ¬P`` model) — exactly the obligations the independent
+        certificate validator re-checks with fresh SAT queries.
+        """
+        clauses = []
+        for level in range(fixpoint_at, len(self._frames)):
+            for cube in self._frames[level]:
+                literals = []
+                for name, bit, value in sorted(cube):
+                    bit_expr = bv_var(name, self._state_widths[name]).bit(bit)
+                    literals.append(bool_not(bit_expr) if value else bit_expr)
+                clauses.append(bool_or(*literals))
+        return simplify(bool_and(*clauses))
 
     # ------------------------------------------------------------------
     # propagation and counterexamples

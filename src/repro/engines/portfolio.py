@@ -198,6 +198,8 @@ class PortfolioResult:
     workers: List[WorkerOutcome] = field(default_factory=list)
     detail: Dict[str, object] = field(default_factory=dict)
     reason: str = ""
+    #: the winning configuration's checkable certificate (see :mod:`repro.certs`)
+    certificate: Optional[object] = None
 
     @property
     def is_definitive(self) -> bool:
@@ -483,20 +485,32 @@ class PortfolioRunner:
             if outcome.result is not None and outcome.result.is_definitive
         ]
 
-        # cross-check: disagreeing definitive answers are a wrong result
+        # cross-check: disagreeing definitive answers are adjudicated by
+        # validating the workers' certificates with the independent checker;
+        # only an undecidable disagreement remains a wrong result
         statuses = {outcome.result.status for outcome in definitive}
         if len(statuses) > 1:
             detail["disagreement"] = {
                 outcome.label: outcome.result.status for outcome in definitive
             }
-            return PortfolioResult(
-                Status.WRONG,
-                self._property_name(property_name, definitive),
-                runtime,
-                workers=outcomes,
-                detail=detail,
-                reason="portfolio workers returned contradictory definitive answers",
-            )
+            adjudicated = self._adjudicate(task, definitive, detail)
+            if adjudicated is not None:
+                winner_index = next(
+                    index for index, outcome in enumerate(outcomes) if outcome is adjudicated
+                )
+                definitive = [adjudicated]
+            else:
+                return PortfolioResult(
+                    Status.WRONG,
+                    self._property_name(property_name, definitive),
+                    runtime,
+                    workers=outcomes,
+                    detail=detail,
+                    reason=(
+                        "portfolio workers returned contradictory definitive "
+                        "answers and certificate validation could not adjudicate"
+                    ),
+                )
 
         if winner_index is None and definitive:
             # cross-check mode: the earliest definitive finisher is the winner
@@ -511,6 +525,11 @@ class PortfolioRunner:
             assert result is not None
             status = result.status
             reason = result.reason
+            if "adjudication" in detail:
+                reason = (
+                    f"cross-check disagreement adjudicated by certificate "
+                    f"validation in favour of {winning.label}"
+                )
             if self.expected is not None and status != self.expected:
                 detail["expected"] = self.expected
                 detail["claimed"] = status
@@ -529,6 +548,7 @@ class PortfolioRunner:
                 workers=outcomes,
                 detail={**detail, **{f"winner_{k}": v for k, v in result.detail.items()}},
                 reason=reason,
+                certificate=result.certificate,
             )
 
         # no definitive answer: summarize the failure categories
@@ -551,6 +571,48 @@ class PortfolioRunner:
             detail=detail,
             reason="no portfolio configuration reached a definitive answer",
         )
+
+    def _adjudicate(
+        self,
+        task: VerificationTask,
+        definitive: List[WorkerOutcome],
+        detail: Dict[str, object],
+    ) -> Optional[WorkerOutcome]:
+        """Decide a definitive-answer disagreement by validating certificates.
+
+        Every disagreeing worker's certificate is checked by the independent
+        validator (:func:`repro.certs.validate_result`).  If exactly one
+        claimed status survives validation, the fastest worker holding a
+        validated certificate of that status wins; otherwise (no certificate
+        validates, or — which would indicate a validator bug — both sides
+        validate) adjudication abstains and the caller reports WRONG.  The
+        per-worker verdicts are recorded under ``detail["adjudication"]``.
+        """
+        from repro.certs import validate_result
+
+        try:
+            system = task.load()
+        except Exception as error:  # noqa: BLE001 - loader failures abstain
+            detail["adjudication"] = {"error": f"{type(error).__name__}: {error}"}
+            return None
+        verdicts: Dict[str, Dict[str, object]] = {}
+        validated: List[WorkerOutcome] = []
+        for outcome in definitive:
+            # validation runs in the parent after the race; bound it by the
+            # same per-run budget the workers had
+            validation = validate_result(system, outcome.result, timeout=self.timeout)
+            verdicts[outcome.label] = {
+                "claimed": outcome.result.status,
+                "certified": validation.ok,
+                "reason": validation.reason,
+            }
+            if validation.ok:
+                validated.append(outcome)
+        detail["adjudication"] = verdicts
+        validated_statuses = {outcome.result.status for outcome in validated}
+        if len(validated_statuses) != 1:
+            return None
+        return min(validated, key=lambda outcome: outcome.runtime)
 
     @staticmethod
     def _property_name(

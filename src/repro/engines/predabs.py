@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Counterexample, Status, VerificationResult
@@ -32,6 +33,7 @@ from repro.exprs import (
     TRUE,
     bool_and,
     bool_not,
+    bool_or,
     bv_var,
     collect_vars,
     evaluate,
@@ -88,6 +90,17 @@ class PredicateAbstractionEngine(Engine):
                 return self._timeout(property_name, budget, refinements, len(predicates))
             status, error_depth = exploration
             if status == "safe":
+                # the reachable abstract states form an inductive invariant:
+                # their union is closed under the transition relation and no
+                # member admits a violation
+                invariant = simplify(
+                    bool_or(
+                        *[
+                            self._state_constraint(predicates, state)
+                            for state in sorted(self._reached_states)
+                        ]
+                    )
+                )
                 return VerificationResult(
                     Status.SAFE,
                     self.name,
@@ -96,8 +109,12 @@ class PredicateAbstractionEngine(Engine):
                     detail={
                         "predicates": len(predicates),
                         "refinements": refinements,
+                        "abstract_states": len(self._reached_states),
                     },
                     reason="abstract reachability proof",
+                    certificate=InductiveCertificate(
+                        property_name, self.name, invariant
+                    ),
                 )
             if status == "limit":
                 return VerificationResult(
@@ -123,6 +140,7 @@ class PredicateAbstractionEngine(Engine):
                     runtime=time.monotonic() - start,
                     counterexample=cex,
                     detail={"depth": error_depth, "predicates": len(predicates)},
+                    certificate=witness_from_counterexample(self.system, self.name, cex),
                 )
             # spurious: refine
             refinements += 1
@@ -205,6 +223,8 @@ class PredicateAbstractionEngine(Engine):
         """
         initial = self._abstract_init(predicates)
         visited: Set[AbstractState] = {initial}
+        #: reachable abstract states of the last exploration (certificate basis)
+        self._reached_states = visited
         frontier: List[AbstractState] = [initial]
         depth = 0
         while frontier:

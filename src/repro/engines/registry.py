@@ -21,6 +21,7 @@ from repro.engines.impact import ImpactEngine
 from repro.engines.interpolation import InterpolationEngine
 from repro.engines.kiki import KikiEngine
 from repro.engines.kinduction import KInductionEngine
+from repro.engines.oracle import OracleEngine
 from repro.engines.pdr import PDREngine
 from repro.engines.predabs import PredicateAbstractionEngine
 from repro.netlist import TransitionSystem
@@ -104,6 +105,11 @@ _REGISTRATIONS: List[EngineRegistration] = [
         AbstractInterpretationEngine,
         aliases=("abstract-interpretation", "intervals"),
         summary="interval abstract interpretation (may raise false alarms)",
+    ),
+    EngineRegistration(
+        "oracle",
+        OracleEngine,
+        summary="fault injection: claims a fixed verdict with a forged certificate",
     ),
 ]
 

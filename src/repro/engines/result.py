@@ -47,6 +47,21 @@ class Counterexample:
     def value(self, cycle: int, name: str) -> int:
         return self.steps[cycle][name]
 
+    def input_sequence(self, input_widths: Dict[str, int]) -> List[Dict[str, int]]:
+        """Per-cycle input valuations covering *every* declared input.
+
+        Inputs the trace does not pin default to 0 (and values are truncated
+        to the declared width), so replaying the sequence through
+        :func:`repro.netlist.simulate.replay` is deterministic.
+        """
+        sequence = []
+        for step in self.steps:
+            cycle = {}
+            for name, width in input_widths.items():
+                cycle[name] = int(step.get(name, 0)) & ((1 << width) - 1)
+            sequence.append(cycle)
+        return sequence
+
 
 @dataclass
 class VerificationResult:
@@ -60,6 +75,10 @@ class VerificationResult:
     #: engine-specific detail: k for k-induction, frame count for PDR, ...
     detail: Dict[str, object] = field(default_factory=dict)
     reason: str = ""
+    #: checkable certificate backing a definitive verdict: a
+    #: :class:`repro.certs.Witness` for UNSAFE, an inductive or k-inductive
+    #: certificate for SAFE (see :mod:`repro.certs`)
+    certificate: Optional[object] = None
 
     @property
     def is_definitive(self) -> bool:

@@ -172,6 +172,12 @@ class Const(Expr):
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # slots + the defensive __setattr__ break default pickling; rebuild
+        # through the constructor instead (certificates cross process
+        # boundaries in the portfolio)
+        return (Const, (self.value, self.width))
+
     def is_const(self, value: int | None = None) -> bool:
         return value is None or self.value == value
 
@@ -198,6 +204,9 @@ class Var(Expr):
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Var, (self.name, self.width))
 
 
 class Op(Expr):
@@ -240,6 +249,9 @@ class Op(Expr):
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Op, (self.op, self.args, self.width, self.params))
 
     def children(self) -> Tuple[Expr, ...]:
         return self.args

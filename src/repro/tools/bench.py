@@ -20,6 +20,14 @@ portfolio configuration is first timed *individually* on each design, then
 the process-parallel :class:`repro.engines.portfolio.PortfolioRunner` races
 them, and ``BENCH_portfolio.json`` records the portfolio wall-clock against
 the fastest and slowest *winning* single engine per design.
+
+``--certify`` switches into certification mode: every engine of the zoo runs
+on every suite design, each definitive verdict's certificate (UNSAFE witness
+/ SAFE invariant, see :mod:`repro.certs`) is validated by the independent
+checker, and a cross-check portfolio with an injected wrong-verdict engine
+demonstrates certificate-based adjudication.  ``BENCH_certify.json`` records
+the per-design validation statistics; the run fails unless every definitive
+verdict is correct *and* independently validated.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.benchmarks import benchmark_names, get_benchmark
+from repro.certs import validate_result
 from repro.engines.bmc import BMCEngine
 from repro.engines.encoding import FrameEncoder
 from repro.engines.interpolation import InterpolationEngine
@@ -39,11 +48,13 @@ from repro.engines.kiki import KikiEngine
 from repro.engines.kinduction import KInductionEngine
 from repro.engines.pdr import PDREngine
 from repro.engines.portfolio import (
+    PortfolioConfig,
     PortfolioRunner,
     VerificationTask,
+    bound_options,
     default_portfolio_configs,
 )
-from repro.engines.registry import make_engine
+from repro.engines.registry import list_engines, make_engine
 from repro.engines.result import Status
 from repro.smt import BVResult
 
@@ -327,6 +338,152 @@ def write_portfolio_report(rows: List[Dict], out: str, depth: int, timeout: floa
     return all_correct
 
 
+def run_certify_section(
+    names: List[str], bound: int, timeout: float
+) -> List[Dict]:
+    """Run every paper engine on every design and validate each certificate."""
+    engines = [
+        registration.name
+        for registration in list_engines()
+        if registration.name != "oracle"  # fault injection is not a paper engine
+    ]
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        expected = benchmark.expected
+        engine_rows: Dict[str, Dict[str, object]] = {}
+        for engine_name in engines:
+            system = benchmark.load()
+            t0 = time.monotonic()
+            try:
+                result = make_engine(
+                    engine_name,
+                    system,
+                    ignore_unknown_options=True,
+                    **bound_options(bound),
+                ).verify(timeout=timeout)
+            except Exception as error:  # noqa: BLE001 - crash category
+                engine_rows[engine_name] = {
+                    "status": Status.ERROR,
+                    "runtime_s": round(time.monotonic() - t0, 6),
+                    "reason": f"{type(error).__name__}: {error}",
+                }
+                continue
+            row: Dict[str, object] = {
+                "status": result.status,
+                "runtime_s": round(time.monotonic() - t0, 6),
+            }
+            if result.is_definitive:
+                row["correct"] = result.status == expected
+                validation = validate_result(system, result, timeout=timeout)
+                row["certificate"] = getattr(result.certificate, "kind", None)
+                row["certified"] = validation.ok
+                row["validate_s"] = round(validation.runtime, 6)
+                if not validation.ok:
+                    row["validation_reason"] = validation.reason
+            engine_rows[engine_name] = row
+        definitive = {
+            engine: row for engine, row in engine_rows.items() if "certified" in row
+        }
+        certified = sum(1 for row in definitive.values() if row["certified"])
+        correct = sum(1 for row in definitive.values() if row["correct"])
+        rows.append(
+            {
+                "benchmark": name,
+                "expected": expected,
+                "engines": engine_rows,
+                "definitive": len(definitive),
+                "correct": correct,
+                "certified": certified,
+            }
+        )
+        print(
+            f"cert {name:12s} definitive={len(definitive)}/{len(engines)} "
+            f"correct={correct} certified={certified} "
+            f"{'OK' if certified == len(definitive) == correct else 'FAIL'}"
+        )
+    return rows
+
+
+def run_adjudication_demo(design: str, bound: int, timeout: float) -> Dict[str, object]:
+    """Cross-check portfolio with an injected wrong-verdict engine.
+
+    The oracle claims the opposite of the known verdict with a forged
+    certificate; adjudication must side with the honest engines.
+    """
+    benchmark = get_benchmark(design)
+    expected = benchmark.expected
+    wrong_claim = Status.SAFE if expected == Status.UNSAFE else Status.UNSAFE
+    configs = default_portfolio_configs(bound=bound) + [
+        PortfolioConfig.of("oracle", claim=wrong_claim)
+    ]
+    runner = PortfolioRunner(
+        configs=configs, timeout=timeout, cross_check=True, expected=expected
+    )
+    result = runner.run(VerificationTask.benchmark(design))
+    adjudicated = result.status == expected and "adjudication" in result.detail
+    print(
+        f"adj  {design:12s} injected={wrong_claim} portfolio={result.status} "
+        f"winner={result.winner} {'OK' if adjudicated else 'FAIL'}"
+    )
+    return {
+        "benchmark": design,
+        "expected": expected,
+        "injected_claim": wrong_claim,
+        "status": result.status,
+        "winner": result.winner,
+        "adjudication": result.detail.get("adjudication"),
+        "adjudicated_correctly": adjudicated,
+    }
+
+
+def write_certify_report(
+    rows: List[Dict],
+    adjudication: Dict[str, object],
+    out: str,
+    bound: int,
+    timeout: float,
+) -> bool:
+    """Write ``BENCH_certify.json``; True when every definitive verdict validated."""
+    total_definitive = sum(row["definitive"] for row in rows)
+    total_certified = sum(row["certified"] for row in rows)
+    total_correct = sum(row["correct"] for row in rows)
+    all_validated = (
+        total_definitive == total_certified == total_correct
+        and bool(adjudication.get("adjudicated_correctly"))
+    )
+    report = {
+        "meta": {
+            "tool": "repro.tools.bench --certify",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "bound": bound,
+            "timeout_s": timeout,
+        },
+        "certification": rows,
+        "adjudication": adjudication,
+        "summary": {
+            "designs": len(rows),
+            "definitive_verdicts": total_definitive,
+            "correct_verdicts": total_correct,
+            "validated_certificates": total_certified,
+            "validation_rate": (
+                round(total_certified / total_definitive, 4) if total_definitive else None
+            ),
+            "all_definitive_validated": all_validated,
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nwrote {out}: {total_certified}/{total_definitive} definitive verdicts "
+        f"validated ({total_correct} correct), adjudication "
+        f"{'OK' if adjudication.get('adjudicated_correctly') else 'FAIL'}"
+    )
+    return all_validated
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -346,6 +503,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--portfolio", action="store_true",
         help="portfolio mode: race the portfolio against individually timed engines",
+    )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="certification mode: validate every definitive verdict's certificate "
+             "on the benchmark suite and demo cross-check adjudication",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -380,6 +542,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.portfolio and args.certify:
+        parser.error("--portfolio and --certify are mutually exclusive")
+
     if args.portfolio:
         depth = args.depth if args.depth is not None else 80
         names = args.benchmarks if args.benchmarks else DEFAULT_PORTFOLIO_BENCHMARKS
@@ -389,6 +554,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = run_portfolio_section(names, depth, args.timeout, jobs=args.jobs)
         out = args.out or "BENCH_portfolio.json"
         return 0 if write_portfolio_report(rows, out, depth, args.timeout) else 1
+
+    if args.certify:
+        bound = args.depth if args.depth is not None else 80
+        names = args.benchmarks if args.benchmarks else benchmark_names()
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        rows = run_certify_section(names, bound, args.timeout)
+        # inject the liar on the first unsafe design (fallback: the first)
+        demo_design = next(
+            (n for n in names if get_benchmark(n).expected == Status.UNSAFE), names[0]
+        )
+        adjudication = run_adjudication_demo(demo_design, bound, args.timeout)
+        out = args.out or "BENCH_certify.json"
+        return 0 if write_certify_report(rows, adjudication, out, bound, args.timeout) else 1
 
     args.depth = args.depth if args.depth is not None else 32
     args.out = args.out or "BENCH_unroll.json"

@@ -8,11 +8,20 @@ result table::
     repro-verify daio --portfolio --timeout 60
     repro-verify designs/fifo.v --engine pdr --bound 32
     repro-verify counter.aag --engine k-induction
+    repro-verify daio --certify --save-certificate daio.cert.json
     repro-verify --list-engines
     repro-verify --list-designs
 
-Exit codes: 0 for a definitive answer consistent with the known ground truth
-(if any), 1 for a wrong or error result, 2 for unknown/timeout.
+With ``--certify`` the final verdict's certificate (UNSAFE witness or SAFE
+invariant, see :mod:`repro.certs`) is validated by the independent checker
+and the per-obligation outcomes are printed; a definitive verdict whose
+certificate fails validation is demoted to WRONG.  ``--save-certificate``
+writes the certificate JSON (witnesses additionally get an AIGER ``.cex``
+stimulus next to it).
+
+Exit codes (CI-gateable): 0 for a (validated, under ``--certify``) definitive
+answer consistent with the known ground truth, 2 for a WRONG result, 3 for
+ERROR/UNKNOWN/TIMEOUT, 1 for usage or configuration errors.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.benchmarks import BENCHMARKS, get_benchmark
+from repro.certs import Witness, dumps as certificate_dumps, validate_result
 from repro.engines import (
     EngineOptionError,
     PortfolioResult,
@@ -37,15 +47,16 @@ from repro.engines import (
 )
 from repro.engines.portfolio import bound_options
 
-#: exit codes by final status
+#: exit codes by final status (0 = validated expected verdict, 2 = WRONG,
+#: 3 = inconclusive/error), so CI scripts can gate on the result category
 _EXIT_CODES = {
     Status.SAFE: 0,
     Status.UNSAFE: 0,
-    Status.UNKNOWN: 2,
-    Status.TIMEOUT: 2,
-    Status.MEMOUT: 2,
-    Status.ERROR: 1,
-    Status.WRONG: 1,
+    Status.UNKNOWN: 3,
+    Status.TIMEOUT: 3,
+    Status.MEMOUT: 3,
+    Status.ERROR: 3,
+    Status.WRONG: 2,
 }
 
 
@@ -149,6 +160,53 @@ def _classify(status: str, expected: Optional[str]) -> str:
     return status
 
 
+def _certify(task: VerificationTask, result, status: str, timeout: float) -> str:
+    """Validate the final certificate; demote an unvalidated definitive verdict.
+
+    ``result`` is the engine or portfolio result carrying ``certificate``;
+    returns the (possibly demoted) final status.
+    """
+    if status not in Status.DEFINITIVE:
+        print("\ncertification: skipped (no definitive verdict)")
+        return status
+    try:
+        system = task.load()
+    except Exception as error:  # noqa: BLE001 - loader failures
+        print(f"\ncertification: cannot reload {task.name!r}: {error}")
+        return Status.WRONG
+    validation = validate_result(system, result, timeout=timeout)
+    print("\ncertification:")
+    for obligation in validation.obligations:
+        note = f"  ({obligation.note})" if obligation.note else ""
+        print(f"  {obligation.name:20s} {obligation.outcome}{note}")
+    verdict = "VALIDATED" if validation.ok else "NOT VALIDATED"
+    print(f"  -> {verdict} [{validation.kind}] in {validation.runtime:.3f}s: {validation.reason}")
+    return status if validation.ok else Status.WRONG
+
+
+def _save_certificate(path: str, task: VerificationTask, result) -> None:
+    """Write the certificate JSON (and a .cex stimulus for witnesses)."""
+    certificate = getattr(result, "certificate", None)
+    if certificate is None:
+        print(f"no certificate to save for {task.name!r}")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(certificate_dumps(certificate))
+    print(f"wrote certificate {path}")
+    if isinstance(certificate, Witness):
+        from repro.aig import aig_from_transition_system
+
+        cex_path = f"{path.removesuffix('.json')}.cex"
+        try:
+            aig = aig_from_transition_system(task.load())
+        except Exception as error:  # noqa: BLE001 - AIG lowering failures
+            print(f"cannot export AIGER stimulus: {error}")
+            return
+        with open(cex_path, "w", encoding="utf-8") as handle:
+            handle.write(certificate.to_aiger_stimulus(aig))
+        print(f"wrote AIGER stimulus {cex_path}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-verify",
@@ -183,6 +241,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "disagreeing definitive answers as WRONG")
     parser.add_argument("--expected", choices=["safe", "unsafe"], default=None,
                         help="override the known verdict used for the WRONG classification")
+    parser.add_argument("--certify", action="store_true",
+                        help="validate the verdict's certificate with the independent "
+                             "checker; unvalidated definitive verdicts become WRONG")
+    parser.add_argument("--save-certificate", metavar="PATH", default=None,
+                        help="write the certificate JSON to PATH (witnesses also "
+                             "get an AIGER .cex stimulus next to it)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress events")
     parser.add_argument("--list-engines", action="store_true",
                         help="list registered engines with aliases and capabilities")
@@ -241,6 +305,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = engine.verify(args.property_name, timeout=args.timeout)
         result.status = _classify(result.status, expected)
         _print_single(result)
+        if args.certify:
+            result.status = _certify(task, result, result.status, args.timeout)
+        if args.save_certificate:
+            _save_certificate(args.save_certificate, task, result)
         return _EXIT_CODES.get(result.status, 1)
 
     # --representation (the single-engine spelling) narrows the portfolio too
@@ -273,7 +341,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     result = runner.run(task, args.property_name)
     _print_portfolio(result)
-    return _EXIT_CODES.get(result.status, 1)
+    final_status = result.status
+    if args.certify:
+        final_status = _certify(task, result, final_status, args.timeout)
+    if args.save_certificate:
+        _save_certificate(args.save_certificate, task, result)
+    return _EXIT_CODES.get(final_status, 1)
 
 
 if __name__ == "__main__":

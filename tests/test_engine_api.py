@@ -22,6 +22,8 @@ CANONICAL = [
     "impact",
     "predabs",
     "absint",
+    # fault injection for the certification layer, not a paper engine
+    "oracle",
 ]
 
 

@@ -1,6 +1,5 @@
 """End-to-end engine verdicts and the process-based portfolio runner."""
 
-import multiprocessing
 import time
 
 import pytest
@@ -133,39 +132,43 @@ def test_portfolio_flags_wrong_answer_against_ground_truth():
     assert result.detail["claimed"] == Status.UNSAFE
 
 
-@pytest.mark.skipif(
-    "fork" not in multiprocessing.get_all_start_methods(),
-    reason="in-test engine registration only propagates to fork children",
-)
-def test_cross_check_reports_disagreement_as_wrong():
-    from repro.engines import Engine, EngineCapabilities, VerificationResult
-    from repro.engines import registry as registry_module
-
-    class LyingEngine(Engine):
-        name = "liar"
-        capabilities = EngineCapabilities(can_prove=True, can_refute=False)
-
-        def verify(self, property_name=None, timeout=None):
-            return VerificationResult(
-                Status.SAFE, self.name, self.default_property(property_name)
-            )
-
-    registration = registry_module.EngineRegistration("liar", LyingEngine)
-    registry_module.ENGINE_REGISTRY["liar"] = registration
-    try:
-        runner = PortfolioRunner(
-            configs=[
-                PortfolioConfig.of("bmc", max_bound=80),
-                PortfolioConfig.of("liar"),
-            ],
-            timeout=120,
-            cross_check=True,
-        )
-        result = runner.run(VerificationTask.benchmark("daio"))
-    finally:
-        del registry_module.ENGINE_REGISTRY["liar"]
-    assert result.status == Status.WRONG
+def test_cross_check_adjudicates_disagreement_by_certificate():
+    """An injected wrong-verdict engine loses the cross-check adjudication."""
+    runner = PortfolioRunner(
+        configs=[
+            PortfolioConfig.of("bmc", max_bound=80),
+            PortfolioConfig.of("oracle", claim=Status.SAFE),
+        ],
+        timeout=120,
+        cross_check=True,
+    )
+    result = runner.run(VerificationTask.benchmark("daio"))
+    # mere disagreement is no longer WRONG: bmc's witness validates, the
+    # oracle's forged TRUE invariant does not, so bmc's verdict stands
+    assert result.status == Status.UNSAFE
+    assert result.winner_engine == "bmc"
     assert set(result.detail["disagreement"].values()) == {Status.SAFE, Status.UNSAFE}
+    adjudication = result.detail["adjudication"]
+    assert adjudication["bmc[word]"]["certified"] is True
+    assert adjudication["oracle[word]"]["certified"] is False
+    assert "adjudicated" in result.reason
+
+
+def test_cross_check_without_any_valid_certificate_stays_wrong():
+    """Two liars disagreeing cannot be adjudicated: the verdict is WRONG."""
+    runner = PortfolioRunner(
+        configs=[
+            PortfolioConfig.of("oracle", claim=Status.SAFE),
+            PortfolioConfig.of("oracle", claim=Status.UNSAFE, representation="bit"),
+        ],
+        timeout=60,
+        cross_check=True,
+    )
+    result = runner.run(VerificationTask.benchmark("daio"))
+    assert result.status == Status.WRONG
+    assert "could not adjudicate" in result.reason
+    adjudication = result.detail["adjudication"]
+    assert all(not verdict["certified"] for verdict in adjudication.values())
 
 
 def test_worker_error_is_reported_not_raised():
