@@ -19,6 +19,14 @@ from repro.benchmarks.suite import (
     benchmark_names,
     get_benchmark,
     load_system,
+    load_system_cached,
 )
 
-__all__ = ["Benchmark", "BENCHMARKS", "benchmark_names", "get_benchmark", "load_system"]
+__all__ = [
+    "Benchmark",
+    "BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+    "load_system",
+    "load_system_cached",
+]

@@ -454,3 +454,26 @@ def get_benchmark(name: str) -> Benchmark:
 def load_system(name: str) -> TransitionSystem:
     """Build a fresh :class:`TransitionSystem` for the named benchmark."""
     return get_benchmark(name).load()
+
+
+#: memoized builds for the portfolio path: the parent process warms the
+#: template caches on these instances before forking, and the workers' loads
+#: resolve to the *same objects*, so the blasted templates are inherited
+#: copy-on-write instead of being re-blasted once per worker
+_SHARED_SYSTEMS: Dict[str, TransitionSystem] = {}
+
+
+def load_system_cached(name: str) -> TransitionSystem:
+    """Return the shared (memoized) build of the named benchmark.
+
+    Unlike :func:`load_system` this returns the same instance on every call.
+    Engines never mutate the designs they verify, and the template cache
+    (:func:`repro.engines.encoding.template_library`) fingerprints the design
+    content anyway, so sharing is safe; use :func:`load_system` when a run
+    must not share blasting artifacts (e.g. timing a cold encode).
+    """
+    system = _SHARED_SYSTEMS.get(name)
+    if system is None:
+        system = load_system(name)
+        _SHARED_SYSTEMS[name] = system
+    return system

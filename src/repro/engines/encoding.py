@@ -109,6 +109,9 @@ class FrameTemplate:
     inp: Tuple[RoleEntry, ...]
     internal: Tuple[int, ...]
     gate_clauses: Tuple[Tuple[int, ...], ...]
+    #: two-literal gate clauses, pre-split so stamping can bulk-register them
+    #: in the solver's binary watch lists without per-clause length dispatch
+    gate_binary: Tuple[Tuple[int, int], ...]
     boundary_clauses: Tuple[Tuple[int, ...], ...]
     true_var: Optional[int] = None
     #: distinguished output literal (property templates)
@@ -116,7 +119,11 @@ class FrameTemplate:
 
     @property
     def num_clauses(self) -> int:
-        return len(self.gate_clauses) + len(self.boundary_clauses)
+        return (
+            len(self.gate_clauses)
+            + len(self.gate_binary)
+            + len(self.boundary_clauses)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -190,10 +197,14 @@ def _finalize_template(
         for clause in normalized
     )
     gate_clauses = []
+    gate_binary = []
     boundary_clauses = []
     for clause in mapped_clauses:
         if len(clause) >= 2 and all(abs(l) > named_count for l in clause):
-            gate_clauses.append(clause)
+            if len(clause) == 2:
+                gate_binary.append(clause)
+            else:
+                gate_clauses.append(clause)
         else:
             boundary_clauses.append(clause)
     if output is not None:
@@ -206,6 +217,7 @@ def _finalize_template(
         inp=map_roles(inp),
         internal=tuple(range(named_count + 1, num_vars + 1)),
         gate_clauses=tuple(gate_clauses),
+        gate_binary=tuple(gate_binary),
         boundary_clauses=tuple(boundary_clauses),
         true_var=true_var,
         output=output,
@@ -557,7 +569,9 @@ class FrameEncoder:
     # ------------------------------------------------------------------
     # template instantiation
     # ------------------------------------------------------------------
-    def _stamp(self, template: FrameTemplate, frame: int) -> List[int]:
+    def _stamp(
+        self, template: FrameTemplate, frame: int, guard: Optional[int] = None
+    ) -> List[int]:
         """Instantiate ``template`` at ``frame``; returns the offset table.
 
         The table maps template variables to solver variables: named roles go
@@ -565,6 +579,14 @@ class FrameEncoder:
         consecutive frames connect and models read back normally), internal
         gate outputs get a fresh contiguous block.  Clause loading goes
         through the solver's bulk fast path.
+
+        With ``guard`` (an activation variable) the *boundary* clauses — the
+        only ones constraining named bits — carry the ``-guard`` literal, so
+        the frame only binds the design signals while ``guard`` is assumed
+        and is neutralized by :meth:`retire`.  Gate clauses are definitional
+        (they constrain fresh internal variables only, and the cone is
+        acyclic), so they stay unguarded: with the boundary disabled they are
+        satisfiable for every assignment of the named bits.
         """
         blaster = self.solver.blaster
         sat = self.solver.solver
@@ -590,36 +612,98 @@ class FrameEncoder:
             for offset, template_var in enumerate(internal):
                 table[template_var] = first + offset
             # gate clauses mention only the fresh contiguous block: remap by
-            # constant offset, no table lookups, no assignment checks
+            # constant offset, no table lookups, no assignment checks; the
+            # two-literal gates go straight into the binary watch pairs
+            sat.add_fresh_binary(template.gate_binary, first - base)
             sat.add_fresh_clauses(template.gate_clauses, first - base)
-        sat.add_clauses_mapped(template.boundary_clauses, table)
+        sat.add_clauses_mapped(template.boundary_clauses, table, guard=guard)
         return table
+
+    # ------------------------------------------------------------------
+    # session lifecycle: activation guards and retraction
+    # ------------------------------------------------------------------
+    def new_activation(self) -> int:
+        """Allocate an activation variable guarding a retractable group.
+
+        Pass it as ``guard`` to :meth:`assert_init` / :meth:`assert_trans`
+        (or through the solver's guarded assertion helpers), include it in
+        the assumptions of every check that should see the group, and call
+        :meth:`retire` to drop the group permanently.  This is how one
+        encoder session serves a whole engine run: frames are *extended* by
+        stamping new template instances and *retracted* by flipping their
+        guard, with the solver's learned clauses, variable activities and
+        saved phases surviving across bounds.
+        """
+        return self.solver.new_activation()
+
+    def retire(self, activation: int) -> int:
+        """Permanently retract the constraints guarded by ``activation``.
+
+        Returns the clause id of the retiring unit clause.  The guarded
+        learned clauses are garbage-collected by the SAT solver (except under
+        proof logging).  Any property literal obtained from a *guarded* stamp
+        must not be reused afterwards; the stock engines only guard frame and
+        assertion groups, never property cones, so the per-frame property
+        literal cache stays valid.
+        """
+        return self.solver.retire(activation)
 
     # ------------------------------------------------------------------
     # assertion into the solver
     # ------------------------------------------------------------------
-    def assert_init(self, frame: int = 0) -> Tuple[int, int]:
-        """Assert the initial state at ``frame``; returns the clause-id range."""
-        if self.representation == "bit":
+    def assert_init(self, frame: int = 0, guard: Optional[int] = None) -> Tuple[int, int]:
+        """Assert the initial state at ``frame``; returns the clause-id range.
+
+        With ``guard`` the constraints are activation-guarded (see
+        :meth:`new_activation`).
+        """
+        if self.representation == "bit" and self.incremental_template:
             start = self.solver.solver.num_clauses
-            if self.incremental_template:
-                self._assert_bit_init_direct(frame)
-            else:
-                self._assert_aig_init(frame)
+            self._assert_bit_init_direct(frame, guard)
             return start, self.solver.solver.num_clauses
+        if self.representation == "bit":
+            if guard is not None:
+                raise ValueError("guarded init requires incremental_template")
+            start = self.solver.solver.num_clauses
+            self._assert_aig_init(frame)
+            return start, self.solver.solver.num_clauses
+        if guard is not None:
+            return self.solver.assert_exprs_guarded(self.init_exprs(frame), guard)
         return self.solver.assert_exprs(self.init_exprs(frame))
 
-    def assert_trans(self, frame: int) -> Tuple[int, int]:
-        """Assert the transition from ``frame`` to ``frame + 1``; returns clause ids."""
+    def assert_trans(self, frame: int, guard: Optional[int] = None) -> Tuple[int, int]:
+        """Assert the transition from ``frame`` to ``frame + 1``; returns clause ids.
+
+        With ``guard`` the frame's boundary clauses are activation-guarded:
+        the frame constrains the design signals only while ``guard`` is
+        assumed, and :meth:`retire` detaches it permanently (the sliding
+        window of k-induction-style loops, spurious-prefix retraction of the
+        interpolation engine, and the per-query groups of the refinement
+        engines all use this instead of building fresh solvers).
+
+        Deepening a session that has already searched refocuses the branching
+        heuristic (:meth:`repro.sat.solver.Solver.reset_activity`): the new
+        frame changes the query's shape, and activities tuned to the earlier
+        bounds measurably inflate the conflict count of the deeper ones.
+        Learned clauses and saved phases are kept.  Fresh solvers (and PDR,
+        which stamps its single frame before ever solving) are unaffected —
+        the reset is a no-op before the first conflict.
+        """
+        if self.solver.solver.stats.conflicts:
+            self.solver.solver.reset_activity()
         if self.incremental_template:
             assert self._library is not None
             start = self.solver.solver.num_clauses
-            self._stamp(self._library.trans_template, frame)
+            self._stamp(self._library.trans_template, frame, guard=guard)
             return start, self.solver.solver.num_clauses
         if self.representation == "bit":
+            if guard is not None:
+                raise ValueError("guarded frames require incremental_template")
             start = self.solver.solver.num_clauses
             self._assert_aig_trans(frame)
             return start, self.solver.solver.num_clauses
+        if guard is not None:
+            return self.solver.assert_exprs_guarded(self.trans_exprs(frame), guard)
         return self.solver.assert_exprs(self.trans_exprs(frame))
 
     def property_literal(self, property_name: str, frame: int) -> int:
@@ -641,7 +725,7 @@ class FrameEncoder:
             return self._aig_property_literal(property_name, frame)
         return self.solver.literal_for(self.property_expr(property_name, frame))
 
-    def _assert_bit_init_direct(self, frame: int) -> None:
+    def _assert_bit_init_direct(self, frame: int, guard: Optional[int] = None) -> None:
         """Unit-clause the reset values onto the frame-stamped register bits."""
         blaster = self.solver.blaster
         sat = self.solver.solver
@@ -649,7 +733,11 @@ class FrameEncoder:
             value = evaluate(self.flat.init[name], {})
             bits = blaster.bits_of_var(frame_name(name, frame), width)
             for index, bit in enumerate(bits):
-                sat.add_clause([bit if (value >> index) & 1 else -bit])
+                wanted = bit if (value >> index) & 1 else -bit
+                if guard is None:
+                    sat.add_clause([wanted])
+                else:
+                    sat.add_clause([-guard, wanted])
 
     # ------------------------------------------------------------------
     # AIG (bit-level) legacy encoding

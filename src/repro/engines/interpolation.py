@@ -20,12 +20,31 @@ refutations:
 This is the algorithm behind ABC's interpolation engine at the bit level and
 CPAChecker's interpolation-based analysis at the software level, compared in
 Figure 4 of the paper.
+
+Persistent sessions
+-------------------
+
+With ``persistent_session=True`` (the default, requires the template path)
+*one* proof-logging solver serves every iteration at every depth: the
+unrolled transition frames and property cones are stamped once and only
+extended as the depth grows, the frontier ``R`` is asserted under an
+activation literal and retracted when replaced, and the per-depth "bad
+somewhere" disjunction enters each query as an assumption literal.  The A/B
+partition of each query is expressed as clause-id sets over the cumulative
+database; unsatisfiability under assumptions yields a resolution chain over
+the failed assumptions (:attr:`repro.sat.solver.Solver.assumption_core_chain`)
+which the :class:`repro.sat.Interpolator` completes against the assumption
+literals' virtual unit clauses.  Learned clauses are implied by the clause
+database alone (activation is assumption-based), so everything the solver
+learned about the transition relation in earlier iterations keeps pruning
+the later ones.  The legacy path (``persistent_session=False``) builds a
+fresh solver per bounded check.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
@@ -44,7 +63,120 @@ from repro.exprs import (
 )
 from repro.netlist import TransitionSystem
 from repro.sat.interpolate import Interpolator, ItpNode
+from repro.sat.solver import SolverStats
 from repro.smt import BVResult, BVSolver
+
+
+class _InterpolationSession:
+    """One persistent proof-logging solver shared by every bounded check.
+
+    Tracks the cumulative A/B clause-id partition: the frame-0 transition,
+    the (guarded) ``Init``/frontier assertions and their retirement units are
+    A; the deeper transition frames, the property cones at frames >= 1 and
+    the per-depth bad disjunction gates are B.  The property cone at frame 0
+    (used only by the initial-state check, which never interpolates) is
+    stamped on the A side so the frame-0 bits stay A-local.
+    """
+
+    def __init__(self, engine: "InterpolationEngine", property_name: str, budget: Budget) -> None:
+        self.encoder = FrameEncoder(
+            engine.system,
+            proof=True,
+            representation=engine.representation,
+            incremental_template=True,
+        )
+        self.solver = self.encoder.solver
+        self.solver.set_deadline(budget.deadline)
+        self.sat = self.solver.solver
+        self.property_name = property_name
+        self.a_ids: List[int] = []
+        self.b_ids: List[int] = []
+        #: frames 0..frames-1 have their transition stamped
+        self.frames = 0
+        #: per-depth "¬P somewhere in 1..depth" assumption literal
+        self.bad_literals: Dict[int, int] = {}
+        self.frontier_act: Optional[int] = None
+
+        self._record(self.a_ids, self.encoder.assert_trans(0))
+        self.frames = 1
+        self.init_act = self.encoder.new_activation()
+        self._record(self.a_ids, self.encoder.assert_init(0, guard=self.init_act))
+
+    # ------------------------------------------------------------------
+    def _record(self, ids: List[int], clause_range: Tuple[int, int]) -> None:
+        start, end = clause_range
+        ids.extend(range(start, end))
+
+    def _property(self, frame: int, ids: List[int]) -> int:
+        """The property literal at ``frame``; its (lazy) stamp lands in ``ids``."""
+        start = self.sat.num_clauses
+        literal = self.encoder.property_literal(self.property_name, frame)
+        end = self.sat.num_clauses
+        if end > start:
+            ids.extend(range(start, end))
+        return literal
+
+    def ensure_depth(self, depth: int) -> None:
+        """Extend the unrolling so frames ``0..depth-1`` are stamped."""
+        while self.frames < depth:
+            self._record(self.b_ids, self.encoder.assert_trans(self.frames))
+            self.frames += 1
+
+    def bad_literal(self, depth: int) -> int:
+        """An assumption literal equivalent to "¬P at some frame in 1..depth"."""
+        cached = self.bad_literals.get(depth)
+        if cached is not None:
+            return cached
+        bads = [-self._property(frame, self.b_ids) for frame in range(1, depth + 1)]
+        start = self.sat.num_clauses
+        literal = self.solver.blaster.encoder.or_gate(bads)
+        self._record(self.b_ids, (start, self.sat.num_clauses))
+        self.bad_literals[depth] = literal
+        return literal
+
+    def set_frontier(self, frontier: Optional[Expr]) -> int:
+        """Install ``frontier`` (None means Init); returns the assumption literal.
+
+        The previous frontier's activation is retired — its guarded clauses
+        and the learned clauses recorded against it are dropped, while
+        everything learned about the transition frames survives.
+        """
+        if self.frontier_act is not None:
+            self.a_ids.append(self.encoder.retire(self.frontier_act))
+            self.frontier_act = None
+        if frontier is None:
+            return self.init_act
+        act = self.encoder.new_activation()
+        self._record(
+            self.a_ids,
+            self.solver.assert_guarded(self.encoder.rename_to_frame(frontier, 0), act),
+        )
+        self.frontier_act = act
+        return act
+
+    # ------------------------------------------------------------------
+    def check_initial(self) -> str:
+        """Is the property violated in the initial state itself?"""
+        literal = self._property(0, self.a_ids)
+        return self.solver.check(assumptions=[self.init_act, -literal])
+
+    def bounded_check(
+        self, frontier: Optional[Expr], depth: int
+    ) -> Tuple[str, Optional[ItpNode]]:
+        """One interpolation query; returns (outcome, interpolant node)."""
+        self.ensure_depth(depth)
+        bad = self.bad_literal(depth)
+        act = self.set_frontier(frontier)
+        outcome = self.solver.check(assumptions=[act, bad])
+        if outcome != BVResult.UNSAT:
+            return outcome, None
+        interpolator = Interpolator(
+            self.sat,
+            self.a_ids,
+            self.b_ids,
+            assumptions=[(act, "A"), (bad, "B")],
+        )
+        return outcome, interpolator.compute()
 
 
 class InterpolationEngine(Engine):
@@ -63,6 +195,7 @@ class InterpolationEngine(Engine):
         max_iterations: int = 200,
         representation: str = "word",
         incremental_template: bool = True,
+        persistent_session: bool = True,
     ) -> None:
         super().__init__(system)
         self.initial_depth = max(1, initial_depth)
@@ -70,6 +203,7 @@ class InterpolationEngine(Engine):
         self.max_iterations = max_iterations
         self.representation = representation
         self.incremental_template = incremental_template
+        self.persistent_session = persistent_session
 
     # ------------------------------------------------------------------
     def verify(
@@ -78,11 +212,19 @@ class InterpolationEngine(Engine):
         budget = Budget(timeout)
         property_name = self.default_property(property_name)
         start = time.monotonic()
+        self._stats = SolverStats()
+        self._fixpoint_solver: Optional[BVSolver] = None
+        # the session layer needs the template path (the legacy re-blast has
+        # no A/B sharing barrier across queries)
+        session: Optional[_InterpolationSession] = None
+        if self.persistent_session and self.incremental_template:
+            session = _InterpolationSession(self, property_name, budget)
 
         # the iteration below only examines frames >= 1, so the initial state
         # itself is checked once up front
-        initial_check = self._check_initial_state(property_name, budget)
+        initial_check = self._check_initial_state(property_name, budget, session)
         if initial_check is not None:
+            self._fold_stats(session)
             return initial_check
 
         depth = self.initial_depth
@@ -94,21 +236,24 @@ class InterpolationEngine(Engine):
             while True:
                 iterations += 1
                 if budget.expired() or iterations > self.max_iterations:
+                    self._fold_stats(session)
                     return self._timeout(property_name, budget, depth, iterations)
                 outcome, interpolant_expr, cex = self._bounded_check(
-                    property_name, frontier, depth, budget
+                    property_name, frontier, depth, budget, session
                 )
                 if outcome == "timeout":
+                    self._fold_stats(session)
                     return self._timeout(property_name, budget, depth, iterations)
                 if outcome == "sat":
                     if frontier is None:
+                        self._fold_stats(session)
                         return VerificationResult(
                             Status.UNSAFE,
                             self.name,
                             property_name,
                             runtime=time.monotonic() - start,
                             counterexample=cex,
-                            detail={"depth": depth},
+                            detail={"depth": depth, "solver_stats": self._stats.as_dict()},
                             certificate=witness_from_counterexample(
                                 self.system, self.name, cex
                             ),
@@ -126,6 +271,7 @@ class InterpolationEngine(Engine):
                     invariant = simplify(
                         bool_or(self._init_state_expr(), *reached_disjuncts)
                     )
+                    self._fold_stats(session)
                     return VerificationResult(
                         Status.SAFE,
                         self.name,
@@ -135,6 +281,7 @@ class InterpolationEngine(Engine):
                             "depth": depth,
                             "iterations": iterations,
                             "disjuncts": len(reached_disjuncts) + 1,
+                            "solver_stats": self._stats.as_dict(),
                         },
                         reason="interpolant fixpoint reached",
                         certificate=InductiveCertificate(
@@ -143,14 +290,23 @@ class InterpolationEngine(Engine):
                     )
                 reached_disjuncts.append(interpolant_expr)
                 frontier = interpolant_expr
+        self._fold_stats(session)
         return VerificationResult(
             Status.UNKNOWN,
             self.name,
             property_name,
             runtime=time.monotonic() - start,
-            detail={"max_depth": self.max_depth},
+            detail={"max_depth": self.max_depth, "solver_stats": self._stats.as_dict()},
             reason="maximum interpolation depth exceeded",
         )
+
+    # ------------------------------------------------------------------
+    def _fold_stats(self, session: Optional[_InterpolationSession]) -> None:
+        if session is not None:
+            self._stats.add(session.sat.stats)
+        if self._fixpoint_solver is not None:
+            self._stats.add(self._fixpoint_solver.stats)
+            self._fixpoint_solver = None
 
     # ------------------------------------------------------------------
     def _init_state_expr(self) -> Expr:
@@ -165,18 +321,25 @@ class InterpolationEngine(Engine):
 
     # ------------------------------------------------------------------
     def _check_initial_state(
-        self, property_name: str, budget: Budget
+        self,
+        property_name: str,
+        budget: Budget,
+        session: Optional[_InterpolationSession],
     ) -> Optional[VerificationResult]:
         """Return an UNSAFE/TIMEOUT result if the property already fails at cycle 0."""
-        encoder = FrameEncoder(
-            self.system,
-            representation=self.representation,
-            incremental_template=self.incremental_template,
-        )
-        encoder.solver.set_deadline(budget.deadline)
-        encoder.assert_init(0)
-        literal = encoder.property_literal(property_name, 0)
-        outcome = encoder.solver.check(assumptions=[-literal])
+        if session is not None:
+            encoder = session.encoder
+            outcome = session.check_initial()
+        else:
+            encoder = FrameEncoder(
+                self.system,
+                representation=self.representation,
+                incremental_template=self.incremental_template,
+            )
+            encoder.solver.set_deadline(budget.deadline)
+            encoder.assert_init(0)
+            literal = encoder.property_literal(property_name, 0)
+            outcome = encoder.solver.check(assumptions=[-literal])
         if outcome == BVResult.SAT:
             cex = encoder.extract_counterexample(property_name, 0)
             return VerificationResult(
@@ -190,6 +353,8 @@ class InterpolationEngine(Engine):
             )
         if outcome == BVResult.UNKNOWN:
             return self._timeout(property_name, budget, 0, 0)
+        if session is None:
+            self._stats.add(encoder.solver.stats)
         return None
 
     # ------------------------------------------------------------------
@@ -199,6 +364,7 @@ class InterpolationEngine(Engine):
         frontier: Optional[Expr],
         depth: int,
         budget: Budget,
+        session: Optional[_InterpolationSession],
     ) -> Tuple[str, Optional[Expr], Optional[object]]:
         """One interpolation query.
 
@@ -206,6 +372,25 @@ class InterpolationEngine(Engine):
         ``"sat"``, ``"unsat"`` or ``"timeout"``.  The interpolant is an
         expression over the *unstamped* state variables.
         """
+        if session is not None:
+            outcome, node = session.bounded_check(frontier, depth)
+            if outcome == BVResult.SAT:
+                cex = session.encoder.extract_counterexample(property_name, depth)
+                return "sat", None, cex
+            if outcome == BVResult.UNKNOWN:
+                return "timeout", None, None
+            interpolant = self._itp_to_state_expr(node, session.encoder, frame=1)
+            return "unsat", simplify(interpolant), None
+        return self._bounded_check_fresh(property_name, frontier, depth, budget)
+
+    def _bounded_check_fresh(
+        self,
+        property_name: str,
+        frontier: Optional[Expr],
+        depth: int,
+        budget: Budget,
+    ) -> Tuple[str, Optional[Expr], Optional[object]]:
+        """The legacy query: a throwaway proof solver per bounded check."""
         encoder = FrameEncoder(
             self.system,
             proof=True,
@@ -241,8 +426,10 @@ class InterpolationEngine(Engine):
         outcome = solver.check()
         if outcome == BVResult.SAT:
             cex = encoder.extract_counterexample(property_name, depth)
+            self._stats.add(sat_solver.stats)
             return "sat", None, cex
         if outcome == BVResult.UNKNOWN:
+            self._stats.add(sat_solver.stats)
             return "timeout", None, None
 
         interpolator = Interpolator(
@@ -250,6 +437,7 @@ class InterpolationEngine(Engine):
         )
         node = interpolator.compute()
         interpolant = self._itp_to_state_expr(node, encoder, frame=1)
+        self._stats.add(sat_solver.stats)
         return "unsat", simplify(interpolant), None
 
     # ------------------------------------------------------------------
@@ -298,7 +486,13 @@ class InterpolationEngine(Engine):
     def _implies_reached(
         self, interpolant: Expr, reached: List[Expr], budget: Budget
     ) -> bool:
-        """Check whether the new interpolant is already covered (fixpoint test)."""
+        """Check whether the new interpolant is already covered (fixpoint test).
+
+        Under persistent sessions the cover checks share one solver: each
+        query's constraints are guarded by a throwaway activation literal and
+        retired immediately, so the blasted predicates (and anything learned
+        about them) are reused across the fixpoint tests of a run.
+        """
         flat = self.system.flattened()
         init_expr = bool_and(
             *[
@@ -307,11 +501,24 @@ class InterpolationEngine(Engine):
             ]
         )
         covered = bool_or(init_expr, *reached)
+        if self.persistent_session:
+            if self._fixpoint_solver is None:
+                self._fixpoint_solver = BVSolver()
+            solver = self._fixpoint_solver
+            solver.set_deadline(budget.deadline)
+            activation = solver.new_activation()
+            solver.assert_guarded(interpolant, activation)
+            solver.assert_guarded(bool_not(covered), activation)
+            outcome = solver.check(assumptions=[activation])
+            solver.retire(activation)
+            return outcome == BVResult.UNSAT
         solver = BVSolver()
         solver.set_deadline(budget.deadline)
         solver.assert_expr(interpolant)
         solver.assert_expr(bool_not(covered))
-        return solver.check() == BVResult.UNSAT
+        outcome = solver.check()
+        self._stats.add(solver.stats)
+        return outcome == BVResult.UNSAT
 
     def _timeout(
         self, property_name: str, budget: Budget, depth: int, iterations: int
@@ -321,5 +528,9 @@ class InterpolationEngine(Engine):
             self.name,
             property_name,
             runtime=budget.elapsed(),
-            detail={"depth": depth, "iterations": iterations},
+            detail={
+                "depth": depth,
+                "iterations": iterations,
+                "solver_stats": self._stats.as_dict(),
+            },
         )

@@ -46,6 +46,7 @@ class KikiEngine(Engine):
         representation: str = "word",
         use_intervals: bool = True,
         incremental_template: bool = True,
+        persistent_session: bool = True,
     ) -> None:
         super().__init__(system)
         self.max_k = max_k
@@ -53,6 +54,7 @@ class KikiEngine(Engine):
         self.representation = representation
         self.use_intervals = use_intervals
         self.incremental_template = incremental_template
+        self.persistent_session = persistent_session
 
     def verify(
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
@@ -60,6 +62,7 @@ class KikiEngine(Engine):
         budget = Budget(timeout)
         property_name = self.default_property(property_name)
         start = time.monotonic()
+        self._certification_stats = None
 
         # phase 1: infer interval invariants (cheap, template-based)
         invariants: List[Expr] = []
@@ -94,6 +97,7 @@ class KikiEngine(Engine):
             representation=self.representation,
             strengthening_invariants=invariants,
             incremental_template=self.incremental_template,
+            persistent_session=self.persistent_session,
         )
         result = engine.verify(property_name, timeout=budget.remaining())
         # the inner engine's certificate (witness or k-inductive claim with
@@ -101,13 +105,21 @@ class KikiEngine(Engine):
         certificate = result.certificate
         if certificate is not None:
             certificate = dataclasses.replace(certificate, engine=self.name)
+        detail = {**result.detail, **interval_detail, "certified_invariants": len(invariants)}
+        if self._certification_stats is not None:
+            # fold the certification session's counters into the inner run's
+            from repro.sat.solver import SolverStats
+
+            merged = SolverStats(**detail.get("solver_stats", {}))
+            merged.add(self._certification_stats)
+            detail["solver_stats"] = merged.as_dict()
         result = VerificationResult(
             status=result.status,
             engine=self.name,
             property_name=result.property_name,
             runtime=time.monotonic() - start,
             counterexample=result.counterexample,
-            detail={**result.detail, **interval_detail, "certified_invariants": len(invariants)},
+            detail=detail,
             reason=result.reason,
             certificate=certificate,
         )
@@ -115,7 +127,16 @@ class KikiEngine(Engine):
 
     # ------------------------------------------------------------------
     def _certified_invariants(self, invariants: List[Expr], budget: Budget) -> List[Expr]:
-        """Keep only invariants that hold initially and are jointly inductive."""
+        """Keep only invariants that hold initially and are jointly inductive.
+
+        With ``persistent_session`` the whole pruning loop runs on *one*
+        solver: the transition relation is stamped once, each iteration's
+        candidate set is asserted under a fresh activation literal, and
+        dropping invariants retracts the group instead of rebuilding the
+        solver — the learned clauses about the (unchanging) transition
+        relation survive every iteration.  The legacy path rebuilds a fresh
+        encoder per iteration.
+        """
         if not invariants:
             return []
         certified = list(invariants)
@@ -125,33 +146,67 @@ class KikiEngine(Engine):
         init_env = {name: evaluate(expr, {}) for name, expr in flat.init.items()}
         certified = [inv for inv in certified if evaluate(inv, init_env) == 1]
 
-        while certified:
-            if budget.expired():
-                return []
-            encoder = FrameEncoder(
+        session: Optional[FrameEncoder] = None
+        if self.persistent_session and certified:
+            session = FrameEncoder(
                 self.system,
                 representation=self.representation,
                 incremental_template=self.incremental_template,
             )
-            encoder.solver.set_deadline(budget.deadline)
-            for invariant in certified:
-                encoder.solver.assert_expr(encoder.rename_to_frame(invariant, 0))
-            encoder.assert_trans(0)
-            conjunction = bool_and(*[encoder.rename_to_frame(inv, 1) for inv in certified])
-            encoder.solver.assert_expr(bool_not(conjunction))
-            outcome = encoder.solver.check()
-            if outcome == BVResult.UNSAT:
-                return certified
-            if outcome == BVResult.UNKNOWN:
-                return []
-            # drop the invariants violated in the counterexample to induction
-            surviving = []
-            for invariant in certified:
-                value = encoder.solver.value_of_expr(encoder.rename_to_frame(invariant, 1))
-                if value == 1:
-                    surviving.append(invariant)
-            if len(surviving) == len(certified):
-                # no progress (should not happen); give up on strengthening
-                return []
-            certified = surviving
-        return certified
+            session.solver.set_deadline(budget.deadline)
+            session.assert_trans(0)
+
+        try:
+            while certified:
+                if budget.expired():
+                    return []
+                if session is not None:
+                    encoder = session
+                    activation = encoder.new_activation()
+                    solver = encoder.solver
+                    for invariant in certified:
+                        solver.assert_guarded(
+                            encoder.rename_to_frame(invariant, 0), activation
+                        )
+                    conjunction = bool_and(
+                        *[encoder.rename_to_frame(inv, 1) for inv in certified]
+                    )
+                    solver.assert_guarded(bool_not(conjunction), activation)
+                    outcome = solver.check(assumptions=[activation])
+                else:
+                    encoder = FrameEncoder(
+                        self.system,
+                        representation=self.representation,
+                        incremental_template=self.incremental_template,
+                    )
+                    encoder.solver.set_deadline(budget.deadline)
+                    for invariant in certified:
+                        encoder.solver.assert_expr(encoder.rename_to_frame(invariant, 0))
+                    encoder.assert_trans(0)
+                    conjunction = bool_and(
+                        *[encoder.rename_to_frame(inv, 1) for inv in certified]
+                    )
+                    encoder.solver.assert_expr(bool_not(conjunction))
+                    outcome = encoder.solver.check()
+                if outcome == BVResult.UNSAT:
+                    return certified
+                if outcome == BVResult.UNKNOWN:
+                    return []
+                # drop the invariants violated in the counterexample to induction
+                surviving = []
+                for invariant in certified:
+                    value = encoder.solver.value_of_expr(
+                        encoder.rename_to_frame(invariant, 1)
+                    )
+                    if value == 1:
+                        surviving.append(invariant)
+                if session is not None:
+                    encoder.retire(activation)
+                if len(surviving) == len(certified):
+                    # no progress (should not happen); give up on strengthening
+                    return []
+                certified = surviving
+            return certified
+        finally:
+            if session is not None:
+                self._certification_stats = session.solver.stats

@@ -11,20 +11,29 @@ behavioural differences visible in Figure 3 of the paper.
 
 The engine can also be strengthened with externally supplied invariants
 (used by the kIkI combination of :mod:`repro.engines.kiki`).
+
+With ``persistent_session=True`` (the default) the base and step solvers live
+for the whole run: bound ``k + 1`` extends the unrollings of bound ``k``, so
+the conflict clauses, VSIDS activities and saved phases learned at earlier
+bounds keep working at the deeper ones.  The legacy path
+(``persistent_session=False``) rebuilds both solvers from scratch at every
+``k`` — what a non-incremental implementation does — and is kept for
+cross-checking and as the benchmark baseline.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.certs import KInductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
-from repro.engines.encoding import FrameEncoder, frame_name
+from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
-from repro.exprs import Expr, bool_or, bv_eq, bv_ne, bv_var
+from repro.exprs import Expr, bool_or, bv_ne
 from repro.netlist import TransitionSystem
-from repro.smt import BVResult, BVSolver
+from repro.sat.solver import SolverStats
+from repro.smt import BVResult
 
 
 class KInductionEngine(Engine):
@@ -43,12 +52,14 @@ class KInductionEngine(Engine):
         representation: str = "word",
         strengthening_invariants: Optional[Iterable[Expr]] = None,
         incremental_template: bool = True,
+        persistent_session: bool = True,
     ) -> None:
         super().__init__(system)
         self.max_k = max_k
         self.simple_path = simple_path
         self.representation = representation
         self.incremental_template = incremental_template
+        self.persistent_session = persistent_session
         #: extra invariants over (unstamped) state variables assumed in every frame
         self.strengthening_invariants: List[Expr] = list(strengthening_invariants or [])
 
@@ -59,33 +70,32 @@ class KInductionEngine(Engine):
         budget = Budget(timeout)
         property_name = self.default_property(property_name)
         start = time.monotonic()
+        self._stats = SolverStats()
 
-        # Base-case solver: Init at frame 0, unrolled forward.
-        base = FrameEncoder(
-            self.system,
-            representation=self.representation,
-            incremental_template=self.incremental_template,
-        )
-        base.solver.set_deadline(budget.deadline)
-        base.assert_init(0)
-
-        # Step-case solver: arbitrary start state, property assumed along the window.
-        step = FrameEncoder(
-            self.system,
-            representation=self.representation,
-            incremental_template=self.incremental_template,
-        )
-        step.solver.set_deadline(budget.deadline)
-        self._assert_invariants(step, 0)
+        base: Optional[FrameEncoder] = None
+        step: Optional[FrameEncoder] = None
+        if self.persistent_session:
+            base, step = self._fresh_pair(budget)
 
         for k in range(self.max_k + 1):
             if budget.expired():
+                self._retire_pair(base, step)
                 return self._timeout(property_name, budget, k)
+
+            if not self.persistent_session:
+                # legacy: rebuild both solvers from scratch and re-unroll the
+                # whole prefix — identical queries, no learned-clause reuse
+                self._retire_pair(base, step)
+                base, step = self._fresh_pair(budget)
+                for frame in range(k):
+                    base.assert_trans(frame)
+                self._extend_step(step, k, property_name)
 
             # ---- base case: a violation within k steps of the initial state?
             base_property = base.property_literal(property_name, k)
             outcome = base.solver.check(assumptions=[-base_property])
             if outcome == BVResult.SAT:
+                self._retire_pair(base, step)
                 cex = base.extract_counterexample(property_name, k)
                 return VerificationResult(
                     Status.UNSAFE,
@@ -93,28 +103,30 @@ class KInductionEngine(Engine):
                     property_name,
                     runtime=time.monotonic() - start,
                     counterexample=cex,
-                    detail={"k": k},
+                    detail={"k": k, "solver_stats": self._stats.as_dict()},
                     certificate=witness_from_counterexample(self.system, self.name, cex),
                 )
             if outcome == BVResult.UNKNOWN:
+                self._retire_pair(base, step)
                 return self._timeout(property_name, budget, k)
 
             # ---- step case: P in frames 0..k implies P in frame k+1
-            step.assert_trans(k)
-            self._assert_invariants(step, k + 1)
-            if self.simple_path:
-                self._assert_simple_path(step, k + 1)
-            step_property_now = step.property_literal(property_name, k)
-            step.solver.solver.add_clause([step_property_now])  # assume P at frame k
+            if self.persistent_session:
+                self._extend_step_frame(step, k, property_name)
             step_property_next = step.property_literal(property_name, k + 1)
             outcome = step.solver.check(assumptions=[-step_property_next])
             if outcome == BVResult.UNSAT:
+                self._retire_pair(base, step)
                 return VerificationResult(
                     Status.SAFE,
                     self.name,
                     property_name,
                     runtime=time.monotonic() - start,
-                    detail={"k": k + 1, "simple_path": self.simple_path},
+                    detail={
+                        "k": k + 1,
+                        "simple_path": self.simple_path,
+                        "solver_stats": self._stats.as_dict(),
+                    },
                     reason=f"property is {k + 1}-inductive",
                     certificate=KInductiveCertificate(
                         property_name,
@@ -125,19 +137,63 @@ class KInductionEngine(Engine):
                     ),
                 )
             if outcome == BVResult.UNKNOWN:
+                self._retire_pair(base, step)
                 return self._timeout(property_name, budget, k)
 
             # neither case concluded: deepen the unrolling
-            base.assert_trans(k)
+            if self.persistent_session:
+                base.assert_trans(k)
 
+        self._retire_pair(base, step)
         return VerificationResult(
             Status.UNKNOWN,
             self.name,
             property_name,
             runtime=time.monotonic() - start,
-            detail={"max_k": self.max_k},
+            detail={"max_k": self.max_k, "solver_stats": self._stats.as_dict()},
             reason=f"property is not k-inductive for k <= {self.max_k}",
         )
+
+    # ------------------------------------------------------------------
+    # session plumbing
+    # ------------------------------------------------------------------
+    def _fresh_pair(self, budget: Budget) -> Tuple[FrameEncoder, FrameEncoder]:
+        """Build the base-case and step-case encoders."""
+        base = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
+        base.solver.set_deadline(budget.deadline)
+        base.assert_init(0)
+        step = FrameEncoder(
+            self.system,
+            representation=self.representation,
+            incremental_template=self.incremental_template,
+        )
+        step.solver.set_deadline(budget.deadline)
+        self._assert_invariants(step, 0)
+        return base, step
+
+    def _retire_pair(self, base: Optional[FrameEncoder], step: Optional[FrameEncoder]) -> None:
+        """Fold the encoders' solver counters into the run totals."""
+        for encoder in (base, step):
+            if encoder is not None:
+                self._stats.add(encoder.solver.stats)
+
+    def _extend_step_frame(self, step: FrameEncoder, k: int, property_name: str) -> None:
+        """Grow the step-case window by one frame (frame ``k`` -> ``k + 1``)."""
+        step.assert_trans(k)
+        self._assert_invariants(step, k + 1)
+        if self.simple_path:
+            self._assert_simple_path(step, k + 1)
+        step_property_now = step.property_literal(property_name, k)
+        step.solver.solver.add_clause([step_property_now])  # assume P at frame k
+
+    def _extend_step(self, step: FrameEncoder, k: int, property_name: str) -> None:
+        """Build the whole step-case window 0..k+1 (legacy per-k rebuild)."""
+        for frame in range(k + 1):
+            self._extend_step_frame(step, frame, property_name)
 
     # ------------------------------------------------------------------
     def _assert_invariants(self, encoder: FrameEncoder, frame: int) -> None:
@@ -161,5 +217,5 @@ class KInductionEngine(Engine):
             self.name,
             property_name,
             runtime=budget.elapsed(),
-            detail={"k_reached": k},
+            detail={"k_reached": k, "solver_stats": self._stats.as_dict()},
         )

@@ -73,11 +73,17 @@ class VerificationTask:
         return VerificationTask("system", system, system.name)
 
     def load(self) -> TransitionSystem:
-        """Build the transition system described by this task."""
-        if self.kind == "benchmark":
-            from repro.benchmarks import get_benchmark
+        """Build the transition system described by this task.
 
-            return get_benchmark(self.spec).load()
+        Suite benchmarks resolve through the memoized loader: under the
+        ``fork`` start method a worker's load returns the very object the
+        parent pre-warmed, so the blasted frame templates arrive via
+        copy-on-write memory instead of being rebuilt per worker.
+        """
+        if self.kind == "benchmark":
+            from repro.benchmarks import load_system_cached
+
+            return load_system_cached(self.spec)
         if self.kind == "verilog":
             from repro.synth import synthesize_file
 
@@ -300,6 +306,12 @@ class PortfolioRunner:
         Optional callback receiving progress dicts
         (``{"event": "started"|"result"|..., "label": ..., ...}``) as they
         stream in from the workers.
+    warm_templates:
+        Pre-blast the frame templates of the task in the *parent* process
+        before forking (default True).  Workers inherit the warmed caches via
+        copy-on-write, so N workers share one blast instead of re-blasting N
+        times.  No-op under the ``spawn`` start method (workers warm their
+        own caches there).
     """
 
     #: extra wall-clock grace before force-terminating workers at the deadline
@@ -314,6 +326,7 @@ class PortfolioRunner:
         expected: Optional[str] = None,
         on_event: Optional[Callable[[Dict[str, object]], None]] = None,
         poll_interval: float = 0.05,
+        warm_templates: bool = True,
     ) -> None:
         self.configs = list(configs) if configs is not None else default_portfolio_configs()
         if not self.configs:
@@ -324,10 +337,43 @@ class PortfolioRunner:
         self.expected = expected
         self.on_event = on_event
         self.poll_interval = poll_interval
+        self.warm_templates = warm_templates
         start_methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in start_methods else "spawn"
         )
+
+    # ------------------------------------------------------------------
+    def _prewarm(self, task: VerificationTask) -> None:
+        """Blast the task's frame templates once, in the parent, before forking.
+
+        Every representation the configuration fan-out uses is warmed, so the
+        forked workers find their ``(system, representation)`` template
+        library already built in inherited (copy-on-write) memory.  Failures
+        are ignored — a worker that cannot build templates reports its own
+        error through the normal result channel.
+        """
+        if not self.warm_templates or self._context.get_start_method() != "fork":
+            return
+        if task.kind not in ("benchmark", "system"):
+            # the template cache is keyed by system instance; only these task
+            # kinds resolve to the same instance in parent and workers
+            # (benchmarks via the memoized loader, systems by identity)
+            return
+        try:
+            from repro.engines.encoding import template_library
+
+            system = task.load()
+            representations = {
+                str(config.options_dict.get("representation", "word"))
+                for config in self.configs
+            }
+            for representation in sorted(representations):
+                library = template_library(system, representation)
+                for prop in library.flat.properties:
+                    library.property_template(prop.name)
+        except Exception:  # noqa: BLE001 - warm-up is best effort
+            pass
 
     # ------------------------------------------------------------------
     def run(
@@ -337,6 +383,7 @@ class PortfolioRunner:
     ) -> PortfolioResult:
         """Run the portfolio on ``task`` and aggregate the outcome."""
         start = time.monotonic()
+        self._prewarm(task)
         deadline = start + self.timeout if self.timeout is not None else None
         events: "multiprocessing.Queue" = self._context.Queue()
 

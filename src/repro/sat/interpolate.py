@@ -178,6 +178,15 @@ class Interpolator:
         b_ids = [solver.add_clause(c) for c in b_clauses]
         assert solver.solve() == SolverResult.UNSAT
         itp = Interpolator(solver, a_ids, b_ids).compute()
+
+    Assumption-based (retractable) queries of a persistent solver session are
+    supported through ``assumptions``: each entry ``(literal, origin)`` with
+    origin ``"A"`` or ``"B"`` declares an assumption of the last solve as a
+    virtual unit input clause of the corresponding partition.  When the solve
+    returned UNSAT under assumptions (so the solver recorded
+    :attr:`repro.sat.solver.Solver.assumption_core_chain` instead of a
+    top-level refutation), the interpolator completes the refutation by
+    resolving the derived core clause against those virtual units.
     """
 
     def __init__(
@@ -185,12 +194,18 @@ class Interpolator:
         solver: Solver,
         a_clause_ids: Sequence[int],
         b_clause_ids: Sequence[int],
+        assumptions: Sequence[Tuple[int, str]] = (),
     ) -> None:
         if not solver.proof_logging:
             raise ValueError("interpolation requires a proof-logging solver")
         self._solver = solver
         self._a_ids: FrozenSet[int] = frozenset(a_clause_ids)
         self._b_ids: FrozenSet[int] = frozenset(b_clause_ids)
+        self._assumptions: Dict[int, Tuple[int, str]] = {}
+        for literal, origin in assumptions:
+            if origin not in ("A", "B"):
+                raise ValueError(f"assumption origin must be 'A' or 'B', got {origin!r}")
+            self._assumptions[var_of(literal)] = (literal, origin)
         self._b_vars: Set[int] = set()
         for cid in b_clause_ids:
             for lit in solver.clause_literals(cid):
@@ -199,6 +214,8 @@ class Interpolator:
         for cid in a_clause_ids:
             for lit in solver.clause_literals(cid):
                 self._a_vars.add(var_of(lit))
+        for literal, origin in assumptions:
+            (self._a_vars if origin == "A" else self._b_vars).add(var_of(literal))
         self._partial: Dict[int, ItpNode] = {}
 
     # -- labelling -------------------------------------------------------
@@ -219,20 +236,67 @@ class Interpolator:
     # -- main computation --------------------------------------------------
     def compute(self) -> ItpNode:
         """Return the interpolant for the recorded refutation."""
-        if self._solver.final_proof is None:
-            raise RuntimeError("solver holds no refutation proof")
-        # Every learned clause only references clauses with smaller ids, so a
-        # single pass in id order computes all partial interpolants without
-        # recursing through the (possibly very deep) proof DAG.
-        for cid in range(self._solver.num_clauses):
-            proof = self._solver.clause_proof[cid]
+        final = self._solver.final_proof
+        if final is not None:
+            self._compute_partials(final[0])
+            antecedents, pivots = final
+            return self._resolve_chain(antecedents, pivots)
+        core_chain = self._solver.assumption_core_chain
+        if core_chain is not None and self._assumptions:
+            self._compute_partials(core_chain[0])
+            antecedents, pivots = core_chain
+            current = self._resolve_chain(antecedents, pivots)
+            # the derived clause holds negations of the failed assumptions:
+            # resolving it against the virtual assumption unit clauses
+            # completes the refutation of (A + A-units, B + B-units)
+            for literal in self._solver.assumption_core:
+                var = var_of(literal)
+                entry = self._assumptions.get(var)
+                if entry is None:
+                    raise RuntimeError(
+                        "assumption core mentions an undeclared assumption "
+                        f"variable {var}"
+                    )
+                unit_lit, origin = entry
+                if origin == "A":
+                    unit_partial = (
+                        itp_lit(unit_lit) if self._is_global(var) else _FALSE
+                    )
+                else:
+                    unit_partial = _TRUE
+                if self._is_global(var):
+                    current = itp_and([current, unit_partial])
+                else:
+                    current = itp_or([current, unit_partial])
+            return current
+        raise RuntimeError("solver holds no refutation proof")
+
+    def _compute_partials(self, roots: Sequence[int]) -> None:
+        """Compute partial interpolants for every clause the proof reaches.
+
+        Only the proof cone of ``roots`` is processed (a persistent session's
+        clause database is far larger than any single refutation).  Every
+        learned clause only references clauses with smaller ids, so a pass in
+        ascending id order never recurses through the proof DAG.
+        """
+        needed: Set[int] = set()
+        stack = list(roots)
+        proofs = self._solver.clause_proof
+        while stack:
+            cid = stack.pop()
+            if cid in needed:
+                continue
+            needed.add(cid)
+            proof = proofs[cid]
+            if proof is not None:
+                stack.extend(proof[0])
+        for cid in sorted(needed):
+            proof = proofs[cid]
             if proof is None:
                 self._partial[cid] = self._leaf_interpolant(cid)
             else:
                 antecedents, pivots = proof
                 self._partial[cid] = self._resolve_chain(antecedents, pivots)
-        antecedents, pivots = self._solver.final_proof
-        return self._resolve_chain(antecedents, pivots)
 
     def _partial_interpolant(self, cid: int) -> ItpNode:
         cached = self._partial.get(cid)

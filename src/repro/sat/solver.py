@@ -1,12 +1,23 @@
 """CDCL SAT solver with optional resolution-proof logging.
 
 The solver implements the standard conflict-driven clause-learning loop:
-two-watched-literal propagation, first-UIP conflict analysis, VSIDS-style
-variable activities with phase saving, and Luby restarts.  It supports
-incremental solving under assumptions (the MiniSat-style interface used by
-the PDR/IC3 and k-induction engines) and, when ``proof=True``, records the
-resolution derivation of every learned clause so that Craig interpolants can
-be extracted from refutations (used by the interpolation-based engines).
+two-watched-literal propagation with a dedicated binary-clause fast path,
+first-UIP conflict analysis with self-subsuming clause minimization,
+VSIDS-style variable activities on an indexed mutable binary heap with phase
+saving, and Luby restarts.  It supports incremental solving under assumptions
+(the MiniSat-style interface used by the PDR/IC3 and k-induction engines)
+and, when ``proof=True``, records the resolution derivation of every learned
+clause so that Craig interpolants can be extracted from refutations (used by
+the interpolation-based engines).  When a solve under assumptions is
+unsatisfiable, a proof-logging solver additionally records the resolution
+chain deriving a clause over the negated failed assumptions
+(:attr:`Solver.assumption_core_chain`), so interpolants can be extracted from
+assumption-based (retractable) queries as well.
+
+Long-lived *sessions* retract constraint groups through activation literals:
+clauses guarded by ``-act`` are active while ``act`` is assumed and are
+permanently disabled by :meth:`Solver.retire_activation`, which also
+garbage-collects the learned clauses that depended on the guard.
 
 The implementation favours clarity over raw speed; the benchmark circuits in
 this reproduction are sized so that a pure-Python solver handles them.
@@ -14,9 +25,8 @@ this reproduction are sized so that a pure-Python solver handles them.
 
 from __future__ import annotations
 
-import heapq
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.sat.cnf import CNF, var_of
@@ -44,6 +54,24 @@ class SolverStats:
     reduce_db: int = 0
     #: learned clauses deleted by database reductions
     deleted_clauses: int = 0
+    #: literals removed from learned clauses by self-subsuming minimization
+    minimized_literals: int = 0
+    #: activation literals permanently retired (see Solver.retire_activation)
+    retired_activations: int = 0
+    #: learned clauses garbage-collected because they depended on a retired guard
+    retired_clauses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON reports, CLI output)."""
+        return asdict(self)
+
+    def add(self, other: "SolverStats") -> None:
+        """Accumulate another solver's counters into this one."""
+        for key, value in asdict(other).items():
+            if key == "max_decision_level":
+                self.max_decision_level = max(self.max_decision_level, value)
+            else:
+                setattr(self, key, getattr(self, key) + value)
 
 
 def luby(index: int) -> int:
@@ -129,19 +157,38 @@ class Solver:
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         # watch lists indexed by literal: literal l occupies slot 2*|l| (+1 if
-        # negative), so propagation is pure list indexing, no dict churn
-        self._watches: List[List[int]] = [[], []]
+        # negative), so propagation is pure list indexing, no dict churn;
+        # slots start as None and get their list on first use — bulk variable
+        # allocation (template stamping) then never creates empty list objects
+        self._watches: List[Optional[List[int]]] = [None, None]
+        # binary-clause fast path: slot idx(l) holds (other, cid) pairs of the
+        # two-literal clauses containing -l — propagation touches each pair
+        # with two list reads instead of the generic watched-literal machinery
+        self._bin_watches: List[Optional[List[Tuple[int, int]]]] = [None, None]
         # literal-indexed truth values (same indexing): 0 unassigned,
         # 1 true, -1 false; kept in sync by _enqueue/_cancel_until
         self._lit_value: List[int] = [0, 0]
         self._queue_head = 0
-        self._order_heap: List[Tuple[float, int]] = []
+        # VSIDS order: an indexed mutable binary max-heap over activities.
+        # _heap holds variables, _heap_pos[var] its position (-1 when absent),
+        # so bumps sift in place instead of flooding a tuple heap with stale
+        # entries that every pick has to skip over.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
 
         self._var_inc = 1.0
         self._var_decay = 0.95
 
         self._ok = True  # False once a top-level refutation has been found
         self.failed_assumptions: Set[int] = set()
+        #: resolution chain deriving :attr:`assumption_core` from the clause
+        #: database when the last solve was UNSAT under assumptions (requires
+        #: ``proof=True``); the derived clause's literals are negations of
+        #: failed assumptions, so resolving it against the assumption "unit
+        #: clauses" yields the empty clause (used by the interpolator)
+        self.assumption_core_chain: Optional[ProofChain] = None
+        #: the clause derived by :attr:`assumption_core_chain`
+        self.assumption_core: Tuple[int, ...] = ()
         self._model: Dict[int, bool] = {}
 
     # ------------------------------------------------------------------
@@ -155,11 +202,16 @@ class Solver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._phase.append(False)
-        self._watches.append([])
-        self._watches.append([])
+        self._watches.append(None)
+        self._watches.append(None)
+        self._bin_watches.append(None)
+        self._bin_watches.append(None)
         self._lit_value.append(0)
         self._lit_value.append(0)
-        heapq.heappush(self._order_heap, (0.0, self._num_vars))
+        # a fresh variable has the minimum activity (0.0), so appending it at
+        # a heap leaf keeps the heap property without sifting
+        self._heap_pos.append(len(self._heap))
+        self._heap.append(self._num_vars)
         return self._num_vars
 
     def new_vars(self, count: int) -> List[int]:
@@ -178,18 +230,87 @@ class Solver:
         self._reason.extend([None] * count)
         self._activity.extend([0.0] * count)
         self._phase.extend([False] * count)
-        self._watches.extend([] for _ in range(2 * count))
+        self._watches.extend([None] * (2 * count))
+        self._bin_watches.extend([None] * (2 * count))
         self._lit_value.extend([0] * (2 * count))
-        heap = self._order_heap
         fresh = list(range(first, first + count))
-        for var in fresh:
-            heapq.heappush(heap, (0.0, var))
+        # fresh variables carry the minimum activity (0.0): bulk-appending
+        # them as heap leaves keeps the heap property without any sifting
+        heap = self._heap
+        base = len(heap)
+        self._heap_pos.extend(range(base, base + count))
+        heap.extend(fresh)
         return fresh
 
     def ensure_vars(self, num_vars: int) -> None:
         """Make sure variables ``1..num_vars`` exist."""
         while self._num_vars < num_vars:
             self.new_var()
+
+    # ------------------------------------------------------------------
+    # VSIDS order heap (indexed mutable binary max-heap over activities)
+    # ------------------------------------------------------------------
+    def _heap_insert(self, var: int) -> None:
+        """Insert ``var`` into the order heap (no-op when already present)."""
+        pos = self._heap_pos[var]
+        if pos >= 0:
+            return
+        heap = self._heap
+        self._heap_pos[var] = len(heap)
+        heap.append(var)
+        self._heap_sift_up(len(heap) - 1)
+
+    def _heap_sift_up(self, pos: int) -> None:
+        heap = self._heap
+        heap_pos = self._heap_pos
+        activity = self._activity
+        var = heap[pos]
+        value = activity[var]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            parent_var = heap[parent]
+            if activity[parent_var] >= value:
+                break
+            heap[pos] = parent_var
+            heap_pos[parent_var] = pos
+            pos = parent
+        heap[pos] = var
+        heap_pos[var] = pos
+
+    def _heap_sift_down(self, pos: int) -> None:
+        heap = self._heap
+        heap_pos = self._heap_pos
+        activity = self._activity
+        size = len(heap)
+        var = heap[pos]
+        value = activity[var]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and activity[heap[right]] > activity[heap[child]]:
+                child = right
+            child_var = heap[child]
+            if value >= activity[child_var]:
+                break
+            heap[pos] = child_var
+            heap_pos[child_var] = pos
+            pos = child
+        heap[pos] = var
+        heap_pos[var] = pos
+
+    def _heap_pop(self) -> int:
+        """Remove and return the highest-activity variable."""
+        heap = self._heap
+        top = heap[0]
+        self._heap_pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self._heap_pos[last] = 0
+            self._heap_sift_down(0)
+        return top
 
     @property
     def num_vars(self) -> int:
@@ -233,7 +354,12 @@ class Solver:
 
         return self._install_clause(clause)
 
-    def add_clauses_mapped(self, clauses: Iterable[Sequence[int]], table: Sequence[int]) -> Tuple[int, int]:
+    def add_clauses_mapped(
+        self,
+        clauses: Iterable[Sequence[int]],
+        table: Sequence[int],
+        guard: Optional[int] = None,
+    ) -> Tuple[int, int]:
         """Bulk-add pre-normalized clauses remapped through a variable table.
 
         ``table[v]`` is the (positive) solver variable standing in for
@@ -245,6 +371,11 @@ class Solver:
         duplicate literals, no tautologies), so the per-clause Python overhead
         of :meth:`add_clause` (dedupe, tautology scan, per-literal variable
         growth) is skipped.  Returns the covering (start, end) clause-id range.
+
+        When ``guard`` is given (a positive activation variable), every clause
+        additionally receives the literal ``-guard``: the group only
+        constrains the solver while ``guard`` is passed as an assumption, and
+        is permanently disabled by :meth:`retire_activation`.
         """
         if self._trail_lim:
             self._cancel_until(0)
@@ -252,6 +383,8 @@ class Solver:
         for solver_var in table:
             if solver_var > top:
                 top = solver_var
+        if guard is not None and guard > top:
+            top = guard
         self.ensure_vars(top)
 
         clause_db = self._clauses
@@ -261,8 +394,11 @@ class Solver:
         watches = self._watches
         start = len(clause_db)
         ok = self._ok
+        neg_guard = -guard if guard is not None else None
         for template_clause in clauses:
             mapped = [table[l] if l > 0 else -table[-l] for l in template_clause]
+            if neg_guard is not None:
+                mapped.append(neg_guard)
             cid = len(clause_db)
             clause_db.append(mapped)
             learned.append(False)
@@ -278,8 +414,19 @@ class Solver:
                     lit_value[(a << 1) if a > 0 else (((-a) << 1) | 1)] >= 0
                     and lit_value[(b << 1) if b > 0 else (((-b) << 1) | 1)] >= 0
                 ):
-                    watches[((-a) << 1) if a < 0 else ((a << 1) | 1)].append(cid)
-                    watches[((-b) << 1) if b < 0 else ((b << 1) | 1)].append(cid)
+                    if len(mapped) == 2:
+                        self._watch_binary(a, b, cid)
+                    else:
+                        index = ((-a) << 1) if a < 0 else ((a << 1) | 1)
+                        if watches[index] is None:
+                            watches[index] = [cid]
+                        else:
+                            watches[index].append(cid)
+                        index = ((-b) << 1) if b < 0 else ((b << 1) | 1)
+                        if watches[index] is None:
+                            watches[index] = [cid]
+                        else:
+                            watches[index].append(cid)
                     continue
             self._finish_install(cid)
             ok = self._ok
@@ -310,12 +457,75 @@ class Solver:
         self._clause_learned.extend([False] * count)
         self.clause_proof.extend([None] * count)
         if self._ok:
+            bin_watches = self._bin_watches
             cid = start
             for mapped in mapped_all:
                 a = mapped[0]
                 b = mapped[1]
-                watches[((-a) << 1) if a < 0 else ((a << 1) | 1)].append(cid)
-                watches[((-b) << 1) if b < 0 else ((b << 1) | 1)].append(cid)
+                if len(mapped) == 2:
+                    index = ((-a) << 1) if a < 0 else ((a << 1) | 1)
+                    if bin_watches[index] is None:
+                        bin_watches[index] = [(b, cid)]
+                    else:
+                        bin_watches[index].append((b, cid))
+                    index = ((-b) << 1) if b < 0 else ((b << 1) | 1)
+                    if bin_watches[index] is None:
+                        bin_watches[index] = [(a, cid)]
+                    else:
+                        bin_watches[index].append((a, cid))
+                else:
+                    index = ((-a) << 1) if a < 0 else ((a << 1) | 1)
+                    if watches[index] is None:
+                        watches[index] = [cid]
+                    else:
+                        watches[index].append(cid)
+                    index = ((-b) << 1) if b < 0 else ((b << 1) | 1)
+                    if watches[index] is None:
+                        watches[index] = [cid]
+                    else:
+                        watches[index].append(cid)
+                cid += 1
+        return start, len(clause_db)
+
+    def add_fresh_binary(
+        self, pairs: Iterable[Sequence[int]], delta: int
+    ) -> Tuple[int, int]:
+        """Bulk-add fresh two-literal clauses shifted by ``delta``.
+
+        The binary companion of :meth:`add_fresh_clauses`: the target
+        variables must be freshly allocated and unassigned.  Registration
+        goes straight into the binary watch-pair lists with no per-clause
+        length dispatch — templates pre-split their gate clauses so this
+        loop, the hottest part of frame stamping, stays branch-light.
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        clause_db = self._clauses
+        bin_watches = self._bin_watches
+        start = len(clause_db)
+        mapped_all = [
+            [a + delta if a > 0 else a - delta, b + delta if b > 0 else b - delta]
+            for a, b in pairs
+        ]
+        clause_db.extend(mapped_all)
+        count = len(mapped_all)
+        self._clause_learned.extend([False] * count)
+        self.clause_proof.extend([None] * count)
+        if self._ok:
+            cid = start
+            for a, b in mapped_all:
+                index = ((-a) << 1) if a < 0 else ((a << 1) | 1)
+                pair_list = bin_watches[index]
+                if pair_list is None:
+                    bin_watches[index] = [(b, cid)]
+                else:
+                    pair_list.append((b, cid))
+                index = ((-b) << 1) if b < 0 else ((b << 1) | 1)
+                pair_list = bin_watches[index]
+                if pair_list is None:
+                    bin_watches[index] = [(a, cid)]
+                else:
+                    pair_list.append((a, cid))
                 cid += 1
         return start, len(clause_db)
 
@@ -417,15 +627,35 @@ class Solver:
             return
         limit = self._trail_lim[level]
         lit_value = self._lit_value
+        heap = self._heap
+        heap_pos = self._heap_pos
+        activity = self._activity
+        assign = self._assign
+        phase = self._phase
+        reason = self._reason
         for lit in reversed(self._trail[limit:]):
             var = lit if lit > 0 else -lit
-            self._phase[var] = bool(self._assign[var])  # phase saving
-            self._assign[var] = None
-            self._reason[var] = None
+            phase[var] = bool(assign[var])  # phase saving
+            assign[var] = None
+            reason[var] = None
             index = var << 1
             lit_value[index] = 0
             lit_value[index | 1] = 0
-            heapq.heappush(self._order_heap, (-self._activity[var], var))
+            if heap_pos[var] < 0:
+                # inlined heap insert + sift-up
+                pos = len(heap)
+                heap.append(var)
+                value = activity[var]
+                while pos > 0:
+                    parent = (pos - 1) >> 1
+                    parent_var = heap[parent]
+                    if activity[parent_var] >= value:
+                        break
+                    heap[pos] = parent_var
+                    heap_pos[parent_var] = pos
+                    pos = parent
+                heap[pos] = var
+                heap_pos[var] = pos
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
@@ -435,23 +665,63 @@ class Solver:
     # ------------------------------------------------------------------
     def _watch_clause(self, cid: int) -> None:
         clause = self._clauses[cid]
+        if len(clause) == 2:
+            # binary clauses live in the dedicated pair lists; both literals
+            # are always watched, so the registration never needs maintenance
+            self._watch_binary(clause[0], clause[1], cid)
+            return
+        watches = self._watches
         lit = -clause[0]
-        self._watches[(lit << 1) if lit > 0 else (((-lit) << 1) | 1)].append(cid)
+        index = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+        if watches[index] is None:
+            watches[index] = [cid]
+        else:
+            watches[index].append(cid)
         if len(clause) >= 2:
             lit = -clause[1]
-            self._watches[(lit << 1) if lit > 0 else (((-lit) << 1) | 1)].append(cid)
+            index = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+            if watches[index] is None:
+                watches[index] = [cid]
+            else:
+                watches[index].append(cid)
+
+    def _watch_binary(self, a: int, b: int, cid: int) -> None:
+        """Register a two-literal clause in the binary watch lists."""
+        bin_watches = self._bin_watches
+        index = ((-a) << 1) if a < 0 else ((a << 1) | 1)
+        if bin_watches[index] is None:
+            bin_watches[index] = [(b, cid)]
+        else:
+            bin_watches[index].append((b, cid))
+        index = ((-b) << 1) if b < 0 else ((b << 1) | 1)
+        if bin_watches[index] is None:
+            bin_watches[index] = [(a, cid)]
+        else:
+            bin_watches[index].append((a, cid))
 
     def _propagate(self) -> Optional[int]:
         """Propagate all enqueued literals; return a conflicting clause id or None."""
         trail = self._trail
         clauses = self._clauses
         watches = self._watches
+        bin_watches = self._bin_watches
         lit_value = self._lit_value
         while self._queue_head < len(trail):
             lit = trail[self._queue_head]
             self._queue_head += 1
             self.stats.propagations += 1
             watch_index = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+            # binary fast path: each pair resolves with two list reads — the
+            # other literal is either true (skip), false (conflict) or
+            # unassigned (propagate); no watch moves, no clause scans
+            pairs = bin_watches[watch_index]
+            if pairs:
+                for other, bin_cid in pairs:
+                    value = lit_value[(other << 1) if other > 0 else (((-other) << 1) | 1)]
+                    if value == 0:
+                        self._enqueue(other, bin_cid)
+                    elif value < 0:
+                        return bin_cid
             watchers = watches[watch_index]
             if not watchers:
                 continue
@@ -488,7 +758,11 @@ class Solver:
                     other = clause[k]
                     if lit_value[(other << 1) if other > 0 else (((-other) << 1) | 1)] >= 0:
                         clause[1], clause[k] = other, clause[1]
-                        watches[((-other) << 1) if other < 0 else ((other << 1) | 1)].append(cid)
+                        move_index = ((-other) << 1) if other < 0 else ((other << 1) | 1)
+                        if watches[move_index] is None:
+                            watches[move_index] = [cid]
+                        else:
+                            watches[move_index].append(cid)
                         found = True
                         break
                 if found:
@@ -513,12 +787,13 @@ class Solver:
         activity[var] += self._var_inc
         if activity[var] > 1e100:
             # rescale in place over exactly the allocated vars (the activity
-            # list has one slot per variable), no index arithmetic
+            # list has one slot per variable); uniform scaling preserves the
+            # heap order, so no re-heapify is needed
             self._activity = [a * 1e-100 for a in activity]
-            activity = self._activity
             self._var_inc *= 1e-100
-        if self._assign[var] is None:
-            heapq.heappush(self._order_heap, (-activity[var], var))
+        pos = self._heap_pos[var]
+        if pos >= 0:
+            self._heap_sift_up(pos)
 
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay
@@ -584,6 +859,9 @@ class Solver:
             pivots.append(var_of(resolve_lit))
             self._bump_clause_activity(reason_id)
 
+        if len(learned) > 1:
+            learned = self._minimize(learned, antecedents, pivots)
+
         if len(learned) == 1:
             backtrack = 0
         else:
@@ -595,6 +873,48 @@ class Solver:
             learned[1], learned[best] = learned[best], learned[1]
             backtrack = self._level[var_of(learned[1])]
         return learned, backtrack, (tuple(antecedents), tuple(pivots))
+
+    def _minimize(
+        self, learned: List[int], antecedents: List[int], pivots: List[int]
+    ) -> List[int]:
+        """Self-subsuming resolution over the freshly learned clause.
+
+        A literal is redundant when its reason clause's remaining literals are
+        all already in the clause: resolving the two removes the literal and
+        introduces nothing new.  Each removal is one more recorded resolution
+        step, so the proof chain still derives exactly the returned clause
+        (removals are checked against the clause *as minimized so far* — a
+        literal whose reason mentions an already-removed literal is kept).
+        The first literal (the asserting UIP) is never touched.
+        """
+        remaining = set(learned)
+        clauses = self._clauses
+        reasons = self._reason
+        kept = [learned[0]]
+        removed = 0
+        for lit in learned[1:]:
+            var = lit if lit > 0 else -lit
+            reason_id = reasons[var]
+            removable = False
+            if reason_id is not None:
+                removable = True
+                neg_lit = -lit
+                for other in clauses[reason_id]:
+                    if other != neg_lit and other not in remaining:
+                        removable = False
+                        break
+            if removable:
+                remaining.discard(lit)
+                antecedents.append(reason_id)
+                pivots.append(var)
+                self._bump_clause_activity(reason_id)
+                removed += 1
+            else:
+                kept.append(lit)
+        if removed:
+            self.stats.minimized_literals += removed
+            return kept
+        return learned
 
     def _derive_empty_from_conflict(self, conflict: int) -> ProofChain:
         """Build the resolution chain refuting a level-0 conflict.
@@ -676,16 +996,101 @@ class Solver:
             self.stats.deleted_clauses += 1
 
     # ------------------------------------------------------------------
+    # session refocus
+    # ------------------------------------------------------------------
+    def reset_activity(self) -> None:
+        """Zero every VSIDS activity and restart the bump increment.
+
+        Long-lived sessions call this when the query changes *shape* — a new
+        time frame enters the database — so the search refocuses on the new
+        logic instead of following activity accumulated by earlier bounds
+        (which measurably inflates conflicts on deep incremental runs).
+        Saved phases and learned clauses are kept.  All activities become
+        equal, so the heap property holds trivially and no re-heapify is
+        needed.
+        """
+        self._activity = [0.0] * (self._num_vars + 1)
+        self._var_inc = 1.0
+
+    # ------------------------------------------------------------------
+    # activation-literal retraction (persistent sessions)
+    # ------------------------------------------------------------------
+    def retire_activation(self, act: int) -> int:
+        """Permanently disable the clauses guarded by activation ``act``.
+
+        Adds the unit clause ``[-act]`` (so every clause carrying the
+        ``-act`` guard literal is satisfied forever) and garbage-collects the
+        learned clauses that recorded a dependency on the activation — those
+        containing ``-act`` — since they can never propagate again.  Learned
+        GC is skipped under proof logging (retired clauses may be antecedents
+        of a later refutation) and for binary clauses (their watch pairs are
+        immutable).  Returns the clause id of the retiring unit.
+        """
+        self.stats.retired_activations += 1
+        cid = self.add_clause([-act])
+        if not self.proof_logging:
+            self._collect_retired(-act)
+        return cid
+
+    def _collect_retired(self, guard_lit: int) -> None:
+        """Delete learned clauses containing ``guard_lit`` (now satisfied forever)."""
+        locked = set()
+        for lit in self._trail:
+            reason = self._reason[var_of(lit)]
+            if reason is not None:
+                locked.add(reason)
+        clauses = self._clauses
+        activity = self._learned_activity
+        lbds = self._learned_lbd
+        retired = 0
+        for cid in list(lbds):
+            clause = clauses[cid]
+            if len(clause) > 2 and cid not in locked and guard_lit in clause:
+                clauses[cid] = []
+                del activity[cid]
+                del lbds[cid]
+                retired += 1
+        self.stats.retired_clauses += retired
+
+    # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
     def _pick_branch_var(self) -> Optional[int]:
-        while self._order_heap:
-            _, var = heapq.heappop(self._order_heap)
-            if self._assign[var] is None:
-                return var
-        # heap exhausted: fall back to a scan (covers vars never pushed again)
+        # inlined heap pops: assigned variables surfacing at the root are
+        # discarded until an unassigned one appears (they re-enter the heap
+        # on backtracking); hoisting the lists keeps this hot loop tight
+        heap = self._heap
+        heap_pos = self._heap_pos
+        activity = self._activity
+        assign = self._assign
+        while heap:
+            top = heap[0]
+            heap_pos[top] = -1
+            last = heap.pop()
+            size = len(heap)
+            if size:
+                # sift the displaced leaf down from the root
+                value = activity[last]
+                pos = 0
+                child = 1
+                while child < size:
+                    right = child + 1
+                    if right < size and activity[heap[right]] > activity[heap[child]]:
+                        child = right
+                    child_var = heap[child]
+                    if value >= activity[child_var]:
+                        break
+                    heap[pos] = child_var
+                    heap_pos[child_var] = pos
+                    pos = child
+                    child = 2 * pos + 1
+                heap[pos] = last
+                heap_pos[last] = pos
+            if assign[top] is None:
+                return top
+        # heap exhausted: fall back to a scan (covers vars never re-inserted)
         for var in range(1, self._num_vars + 1):
-            if self._assign[var] is None:
+            if assign[var] is None:
                 return var
         return None
 
@@ -705,6 +1110,8 @@ class Solver:
         the assumptions sufficient for unsatisfiability.
         """
         self.failed_assumptions = set()
+        self.assumption_core_chain = None
+        self.assumption_core = ()
         self._model = {}
         if not self._ok:
             return SolverResult.UNSAT
@@ -809,6 +1216,8 @@ class Solver:
 
     def _analyze_final_lit(self, failed_lit: int, assumptions: Sequence[int]) -> None:
         """Compute failed assumptions when an assumption literal is already false."""
+        if self.proof_logging and self._record_assumption_core(failed_lit):
+            return
         assumption_vars = {var_of(a) for a in assumptions}
         failed: Set[int] = {failed_lit}
         seen: Set[int] = set()
@@ -830,6 +1239,62 @@ class Solver:
                     other for other in self._clauses[reason_id] if var_of(other) != var
                 )
         self.failed_assumptions = failed
+
+    def _record_assumption_core(self, failed_lit: int) -> bool:
+        """Derive a clause over negated assumptions refuting the assumptions.
+
+        ``failed_lit`` is an assumption whose negation is implied by the
+        clause database under the earlier assumptions.  Starting from the
+        reason clause that propagated ``-failed_lit``, every false literal
+        with a reason is resolved away in reverse assignment order; what
+        remains are negations of assumption decisions (which have no reason).
+        The chain and the derived clause are stored on
+        :attr:`assumption_core_chain` / :attr:`assumption_core`, and
+        :attr:`failed_assumptions` is the negation of the derived clause.
+        Returns False (falling back to the reachability analysis) when the
+        propagated literal has no reason — i.e. the assumptions are directly
+        contradictory.
+        """
+        root_reason = self._reason[var_of(failed_lit)]
+        if root_reason is None:
+            return False
+        position = {var_of(lit): i for i, lit in enumerate(self._trail)}
+        current: Set[int] = set(self._clauses[root_reason])
+        antecedents: List[int] = [root_reason]
+        pivots: List[int] = []
+        reasons = self._reason
+        guard = 0
+        limit = 10 * (len(self._trail) + len(self._clauses) + 10)
+        while True:
+            guard += 1
+            if guard > limit:  # pragma: no cover - defensive
+                return False
+            best: Optional[int] = None
+            best_position = -1
+            for lit in current:
+                if lit == -failed_lit:
+                    continue
+                var = var_of(lit)
+                if reasons[var] is None:
+                    continue  # an assumption decision: keep its negation
+                pos = position.get(var, -1)
+                if pos > best_position:
+                    best_position = pos
+                    best = lit
+            if best is None:
+                break
+            var = var_of(best)
+            reason_id = reasons[var]
+            current.discard(best)
+            for other in self._clauses[reason_id]:
+                if var_of(other) != var:
+                    current.add(other)
+            antecedents.append(reason_id)
+            pivots.append(var)
+        self.assumption_core_chain = (tuple(antecedents), tuple(pivots))
+        self.assumption_core = tuple(current)
+        self.failed_assumptions = {-lit for lit in current}
+        return True
 
     def _trail_literal(self, var: int) -> int:
         return var if self._assign[var] else -var

@@ -75,9 +75,54 @@ class BVSolver:
         self.solver.add_clause([-activation, target])
         return activation
 
+    def new_activation(self) -> int:
+        """Allocate a fresh activation variable for a retractable group.
+
+        Constraints attached with :meth:`assert_guarded` /
+        :meth:`assert_exprs_guarded` under the returned variable are active
+        while it is passed as an assumption to :meth:`check` and are
+        permanently dropped by :meth:`retire`.
+        """
+        return self.solver.new_var()
+
+    def assert_guarded(self, expr: Expr, activation: int) -> Tuple[int, int]:
+        """Assert ``activation -> expr``; returns the clause-id range added.
+
+        The range covers the Tseitin definition clauses of ``expr`` as well
+        (they are retraction-safe: definitions over fresh gate variables never
+        constrain the named bits on their own).
+        """
+        start = self.solver.num_clauses
+        target = self.blaster.blast_bool(expr)
+        self.solver.add_clause([-activation, target])
+        return start, self.solver.num_clauses
+
+    def assert_exprs_guarded(self, exprs: Iterable[Expr], activation: int) -> Tuple[int, int]:
+        """Assert several expressions under one activation guard."""
+        start = self.solver.num_clauses
+        for expr in exprs:
+            target = self.blaster.blast_bool(expr)
+            self.solver.add_clause([-activation, target])
+        return start, self.solver.num_clauses
+
+    def retire(self, activation: int) -> int:
+        """Permanently drop the constraints guarded by ``activation``.
+
+        Returns the clause id of the retiring unit (``[-activation]``); the
+        underlying solver also garbage-collects the learned clauses that
+        depended on the guard (see
+        :meth:`repro.sat.solver.Solver.retire_activation`).
+        """
+        return self.solver.retire_activation(activation)
+
     def new_bool(self) -> int:
         """Allocate a fresh free Boolean SAT variable."""
         return self.solver.new_var()
+
+    @property
+    def stats(self):
+        """The underlying solver's :class:`repro.sat.solver.SolverStats`."""
+        return self.solver.stats
 
     # ------------------------------------------------------------------
     # solving

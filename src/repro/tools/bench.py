@@ -28,6 +28,15 @@ checker, and a cross-check portfolio with an injected wrong-verdict engine
 demonstrates certificate-based adjudication.  ``BENCH_certify.json`` records
 the per-design validation statistics; the run fails unless every definitive
 verdict is correct *and* independently validated.
+
+``--incremental`` measures the persistent solver sessions: k-induction is
+profiled bound by bound (per-bound wall clock and ``SolverStats`` deltas) in
+three modes — **session** (one persistent solver, templates), **template**
+(template stamping but a fresh solver per bound) and **legacy** (fresh
+solver, per-frame re-blast) — kIkI is timed end to end in the same modes, and
+a verdict sweep runs the converted engines on all suite designs with
+``persistent_session`` on and off.  ``BENCH_incremental.json`` records the
+speedups; the run fails on any session-vs-legacy verdict mismatch.
 """
 
 from __future__ import annotations
@@ -133,6 +142,7 @@ def profile_bmc_unroll(
         "total_s": round(setup_s + encode_s + solve_s, 6),
         "clauses": sat_solver.num_clauses,
         "vars": sat_solver.num_vars,
+        "solver_stats": sat_solver.stats.as_dict(),
     }
 
 
@@ -199,6 +209,7 @@ def run_engine_section(names: List[str], engines: List[str], timeout: float) -> 
                 outcomes["template" if template else "legacy"] = {
                     "status": result.status,
                     "runtime_s": round(time.monotonic() - t0, 6),
+                    "solver_stats": result.detail.get("solver_stats"),
                 }
             speedup = outcomes["legacy"]["runtime_s"] / max(
                 1e-9, outcomes["template"]["runtime_s"]
@@ -251,6 +262,7 @@ def run_portfolio_section(
                 "status": result.status,
                 "runtime_s": round(time.monotonic() - t0, 6),
                 "correct": result.status == expected,
+                "solver_stats": result.detail.get("solver_stats"),
             }
 
         runner = PortfolioRunner(
@@ -281,6 +293,7 @@ def run_portfolio_section(
                     outcome.label: outcome.status for outcome in portfolio.workers
                 },
                 "correct": portfolio.status == expected,
+                "winner_solver_stats": portfolio.detail.get("winner_solver_stats"),
             },
             "singles": singles,
             "best_single_s": best_single,
@@ -372,6 +385,7 @@ def run_certify_section(
             row: Dict[str, object] = {
                 "status": result.status,
                 "runtime_s": round(time.monotonic() - t0, 6),
+                "solver_stats": result.detail.get("solver_stats"),
             }
             if result.is_definitive:
                 row["correct"] = result.status == expected
@@ -435,6 +449,444 @@ def run_adjudication_demo(design: str, bound: int, timeout: float) -> Dict[str, 
         "adjudication": result.detail.get("adjudication"),
         "adjudicated_correctly": adjudicated,
     }
+
+
+# ---------------------------------------------------------------------------
+# incremental-session mode (--incremental)
+# ---------------------------------------------------------------------------
+
+#: mode name -> (incremental_template, persistent_session)
+INCREMENTAL_MODES = {
+    "session": (True, True),
+    "template": (True, False),
+    "legacy": (False, False),
+}
+
+#: default designs for the incremental-session comparison: the two unsafe
+#: designs drive k-induction/kIkI through every bound (their bugs are beyond
+#: the depth cap, so the sliding window deepens to max_k), huffman_enc is the
+#: solver-bound datapath of BENCH_unroll, mac16 the encode-bound one
+DEFAULT_INCREMENTAL_BENCHMARKS = ["daio", "tlc", "huffman_enc", "mac16"]
+
+#: engines of the session-vs-legacy verdict sweep (all converted engines)
+SWEEP_ENGINES = ["bmc", "k-induction", "kiki", "interpolation", "predabs"]
+
+
+def profile_kinduction_incremental(
+    system, property_name: Optional[str], depth: int, mode: str, timeout: float
+) -> Dict[str, object]:
+    """Profile k-induction bound by bound in one incremental mode.
+
+    Mirrors :class:`repro.engines.kinduction.KInductionEngine` exactly (same
+    queries in the same order, through the engine's own session helpers) but
+    keeps a per-bound stopwatch and snapshots the ``SolverStats`` deltas each
+    bound contributes.
+    """
+    from repro.engines.kinduction import KInductionEngine
+    from repro.engines.result import Budget
+    from repro.sat.solver import SolverStats
+
+    template, persistent = INCREMENTAL_MODES[mode]
+    if property_name is None:
+        property_name = system.properties[0].name
+    engine = KInductionEngine(
+        system,
+        max_k=depth,
+        incremental_template=template,
+        persistent_session=persistent,
+    )
+    engine._stats = SolverStats()
+    budget = Budget(timeout)
+    start = time.monotonic()
+
+    def totals(base, step) -> Dict[str, int]:
+        snapshot = SolverStats()
+        snapshot.add(engine._stats)
+        for encoder in (base, step):
+            if encoder is not None:
+                snapshot.add(encoder.solver.stats)
+        return snapshot.as_dict()
+
+    base = step = None
+    if persistent:
+        base, step = engine._fresh_pair(budget)
+    per_bound: List[Dict[str, object]] = []
+    previous = totals(base, step)
+    verdict = "unknown"
+    k_reached = depth
+    for k in range(depth + 1):
+        if budget.expired():
+            verdict = "timeout"
+            k_reached = k
+            break
+        t0 = time.monotonic()
+        if not persistent:
+            engine._retire_pair(base, step)
+            base, step = engine._fresh_pair(budget)
+            for frame in range(k):
+                base.assert_trans(frame)
+            engine._extend_step(step, k, property_name)
+        base_property = base.property_literal(property_name, k)
+        outcome = base.solver.check(assumptions=[-base_property])
+        concluded = None
+        if outcome == BVResult.SAT:
+            concluded = ("unsafe", k)
+        elif outcome == BVResult.UNKNOWN:
+            concluded = ("timeout", k)
+        if concluded is None:
+            if persistent:
+                engine._extend_step_frame(step, k, property_name)
+            step_property = step.property_literal(property_name, k + 1)
+            outcome = step.solver.check(assumptions=[-step_property])
+            if outcome == BVResult.UNSAT:
+                concluded = ("safe", k + 1)
+            elif outcome == BVResult.UNKNOWN:
+                concluded = ("timeout", k)
+            elif persistent:
+                base.assert_trans(k)
+        wall = time.monotonic() - t0
+        current = totals(base, step)
+        deltas = {
+            key: (
+                max(previous.get(key, 0), value)
+                if key == "max_decision_level"
+                else value - previous.get(key, 0)
+            )
+            for key, value in current.items()
+        }
+        previous = current
+        per_bound.append({"k": k, "wall_s": round(wall, 6), "stats": deltas})
+        if concluded is not None:
+            verdict, k_reached = concluded
+            break
+    engine._retire_pair(base, step)
+    return {
+        "mode": mode,
+        "verdict": verdict,
+        "k": k_reached,
+        "total_s": round(time.monotonic() - start, 6),
+        "solver_stats": engine._stats.as_dict(),
+        "per_bound": per_bound,
+    }
+
+
+def profile_bmc_incremental(
+    system, property_name: Optional[str], depth: int, mode: str, timeout: float
+) -> Dict[str, object]:
+    """Profile BMC bound by bound in one incremental mode.
+
+    Mirrors :class:`repro.engines.bmc.BMCEngine`: the session mode extends a
+    single solver, the template/legacy modes rebuild (with and without frame
+    templates) and re-unroll from scratch at every bound.
+    """
+    from repro.engines.result import Budget
+    from repro.sat.solver import SolverStats
+
+    template, persistent = INCREMENTAL_MODES[mode]
+    if property_name is None:
+        property_name = system.properties[0].name
+    budget = Budget(timeout)
+    start = time.monotonic()
+    totals = SolverStats()
+
+    def snapshot(encoder) -> Dict[str, int]:
+        current = SolverStats()
+        current.add(totals)
+        if encoder is not None:
+            current.add(encoder.solver.solver.stats)
+        return current.as_dict()
+
+    def fresh():
+        encoder = FrameEncoder(
+            system, incremental_template=template
+        )
+        encoder.solver.set_deadline(budget.deadline)
+        encoder.assert_init(0)
+        return encoder
+
+    encoder = None
+    per_bound: List[Dict[str, object]] = []
+    previous = snapshot(None)
+    verdict = "unknown"
+    bound_reached = depth
+    for bound in range(depth + 1):
+        if budget.expired():
+            verdict = "timeout"
+            bound_reached = bound
+            break
+        t0 = time.monotonic()
+        if persistent:
+            if encoder is None:
+                encoder = fresh()
+        else:
+            if encoder is not None:
+                totals.add(encoder.solver.solver.stats)
+            encoder = fresh()
+            for frame in range(bound):
+                encoder.assert_trans(frame)
+        literal = encoder.property_literal(property_name, bound)
+        outcome = encoder.solver.check(assumptions=[-literal])
+        if outcome == BVResult.SAT:
+            verdict = "unsafe"
+            bound_reached = bound
+        elif outcome == BVResult.UNKNOWN:
+            verdict = "timeout"
+            bound_reached = bound
+        elif persistent:
+            encoder.assert_trans(bound)
+        wall = time.monotonic() - t0
+        current = snapshot(encoder)
+        deltas = {
+            key: (
+                max(previous.get(key, 0), value)
+                if key == "max_decision_level"
+                else value - previous.get(key, 0)
+            )
+            for key, value in current.items()
+        }
+        previous = current
+        per_bound.append({"bound": bound, "wall_s": round(wall, 6), "stats": deltas})
+        if verdict != "unknown":
+            break
+    if encoder is not None:
+        totals.add(encoder.solver.solver.stats)
+    return {
+        "mode": mode,
+        "verdict": verdict,
+        "bound": bound_reached,
+        "total_s": round(time.monotonic() - start, 6),
+        "solver_stats": totals.as_dict(),
+        "per_bound": per_bound,
+    }
+
+
+def run_incremental_bmc_section(
+    names: List[str], depth: int, timeout: float
+) -> List[Dict]:
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        modes: Dict[str, Dict[str, object]] = {}
+        for mode in INCREMENTAL_MODES:
+            system = benchmark.load()
+            modes[mode] = profile_bmc_incremental(system, None, depth, mode, timeout)
+        session_s = modes["session"]["total_s"]
+        row = {
+            "benchmark": name,
+            "depth": depth,
+            "modes": modes,
+            "speedup_session_vs_legacy": round(
+                modes["legacy"]["total_s"] / max(1e-9, session_s), 2
+            ),
+            "speedup_session_vs_template": round(
+                modes["template"]["total_s"] / max(1e-9, session_s), 2
+            ),
+            "verdicts_match": len(
+                {(m["verdict"], m["bound"]) for m in modes.values()}
+            ) == 1,
+        }
+        rows.append(row)
+        print(
+            f"bmc  {name:12s} depth={depth} "
+            f"session={modes['session']['total_s']:.3f}s "
+            f"template={modes['template']['total_s']:.3f}s "
+            f"legacy={modes['legacy']['total_s']:.3f}s "
+            f"speedup={row['speedup_session_vs_legacy']:.2f}x "
+            f"conflicts session/legacy="
+            f"{modes['session']['solver_stats']['conflicts']}/"
+            f"{modes['legacy']['solver_stats']['conflicts']} "
+            f"{'OK' if row['verdicts_match'] else 'MISMATCH'}"
+        )
+    return rows
+
+
+def run_incremental_kinduction_section(
+    names: List[str], depth: int, timeout: float
+) -> List[Dict]:
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        modes: Dict[str, Dict[str, object]] = {}
+        for mode in INCREMENTAL_MODES:
+            system = benchmark.load()
+            modes[mode] = profile_kinduction_incremental(
+                system, None, depth, mode, timeout
+            )
+        session_s = modes["session"]["total_s"]
+        row = {
+            "benchmark": name,
+            "depth": depth,
+            "modes": modes,
+            "speedup_session_vs_legacy": round(
+                modes["legacy"]["total_s"] / max(1e-9, session_s), 2
+            ),
+            "speedup_session_vs_template": round(
+                modes["template"]["total_s"] / max(1e-9, session_s), 2
+            ),
+            "verdicts_match": len(
+                {(m["verdict"], m["k"]) for m in modes.values()}
+            ) == 1,
+        }
+        rows.append(row)
+        print(
+            f"kind {name:12s} depth={depth} "
+            f"session={modes['session']['total_s']:.3f}s "
+            f"template={modes['template']['total_s']:.3f}s "
+            f"legacy={modes['legacy']['total_s']:.3f}s "
+            f"speedup={row['speedup_session_vs_legacy']:.2f}x "
+            f"verdict={modes['session']['verdict']} "
+            f"{'OK' if row['verdicts_match'] else 'MISMATCH'}"
+        )
+    return rows
+
+
+def run_incremental_kiki_section(
+    names: List[str], depth: int, timeout: float
+) -> List[Dict]:
+    from repro.engines.kiki import KikiEngine
+
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        modes: Dict[str, Dict[str, object]] = {}
+        for mode, (template, persistent) in INCREMENTAL_MODES.items():
+            system = benchmark.load()
+            t0 = time.monotonic()
+            result = KikiEngine(
+                system,
+                max_k=depth,
+                incremental_template=template,
+                persistent_session=persistent,
+            ).verify(timeout=timeout)
+            modes[mode] = {
+                "status": result.status,
+                "k": result.detail.get("k", result.detail.get("max_k")),
+                "runtime_s": round(time.monotonic() - t0, 6),
+                "solver_stats": result.detail.get("solver_stats"),
+            }
+        session_s = modes["session"]["runtime_s"]
+        row = {
+            "benchmark": name,
+            "depth": depth,
+            "modes": modes,
+            "speedup_session_vs_legacy": round(
+                modes["legacy"]["runtime_s"] / max(1e-9, session_s), 2
+            ),
+            "verdicts_match": len({m["status"] for m in modes.values()}) == 1,
+        }
+        rows.append(row)
+        print(
+            f"kiki {name:12s} depth={depth} "
+            f"session={modes['session']['runtime_s']:.3f}s "
+            f"legacy={modes['legacy']['runtime_s']:.3f}s "
+            f"speedup={row['speedup_session_vs_legacy']:.2f}x "
+            f"{'OK' if row['verdicts_match'] else 'MISMATCH'}"
+        )
+    return rows
+
+
+def run_incremental_sweep(bound: int, timeout: float) -> List[Dict]:
+    """Session vs legacy verdicts for every converted engine on every design."""
+    rows = []
+    for name in benchmark_names():
+        benchmark = get_benchmark(name)
+        engines: Dict[str, Dict[str, object]] = {}
+        for engine_name in SWEEP_ENGINES:
+            outcomes = {}
+            for label, persistent in (("session", True), ("legacy", False)):
+                system = benchmark.load()
+                t0 = time.monotonic()
+                result = make_engine(
+                    engine_name,
+                    system,
+                    ignore_unknown_options=True,
+                    persistent_session=persistent,
+                    **bound_options(bound),
+                ).verify(timeout=timeout)
+                outcomes[label] = {
+                    "status": result.status,
+                    "runtime_s": round(time.monotonic() - t0, 6),
+                }
+            engines[engine_name] = {
+                **outcomes,
+                "verdicts_match": outcomes["session"]["status"]
+                == outcomes["legacy"]["status"],
+            }
+        matches = sum(1 for row in engines.values() if row["verdicts_match"])
+        rows.append({"benchmark": name, "engines": engines, "matches": matches})
+        print(
+            f"swp  {name:12s} {matches}/{len(SWEEP_ENGINES)} engines "
+            f"session==legacy"
+        )
+    return rows
+
+
+def write_incremental_report(
+    kind_rows: List[Dict],
+    kiki_rows: List[Dict],
+    bmc_rows: List[Dict],
+    sweep_rows: List[Dict],
+    out: str,
+    depth: int,
+    timeout: float,
+) -> bool:
+    """Write ``BENCH_incremental.json``; True when every verdict pair matched."""
+    all_match = (
+        all(row["verdicts_match"] for row in kind_rows + kiki_rows + bmc_rows)
+        and all(
+            engine["verdicts_match"]
+            for row in sweep_rows
+            for engine in row["engines"].values()
+        )
+    )
+    at_or_above_2x = sum(
+        1
+        for row in kind_rows + kiki_rows
+        if row["speedup_session_vs_legacy"] >= 2.0
+    )
+    conflict_rows = {
+        row["benchmark"]: {
+            "session": row["modes"]["session"]["solver_stats"]["conflicts"],
+            "legacy": row["modes"]["legacy"]["solver_stats"]["conflicts"],
+        }
+        for row in bmc_rows
+    }
+    report = {
+        "meta": {
+            "tool": "repro.tools.bench --incremental",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "depth": depth,
+            "timeout_s": timeout,
+        },
+        "kinduction": kind_rows,
+        "kiki": kiki_rows,
+        "bmc": bmc_rows,
+        "verdict_sweep": sweep_rows,
+        "summary": {
+            "kinduction_speedups_session_vs_legacy": {
+                row["benchmark"]: row["speedup_session_vs_legacy"] for row in kind_rows
+            },
+            "kiki_speedups_session_vs_legacy": {
+                row["benchmark"]: row["speedup_session_vs_legacy"] for row in kiki_rows
+            },
+            "bmc_speedups_session_vs_legacy": {
+                row["benchmark"]: row["speedup_session_vs_legacy"] for row in bmc_rows
+            },
+            "runs_at_or_above_2x": at_or_above_2x,
+            "bmc_conflicts_session_vs_legacy": conflict_rows,
+            "all_verdicts_match": all_match,
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nwrote {out}: {at_or_above_2x}/{len(kind_rows) + len(kiki_rows)} "
+        f"engine runs at >=2x session-vs-legacy, verdicts "
+        f"{'all match' if all_match else 'MISMATCH'}"
+    )
+    return all_match
 
 
 def write_certify_report(
@@ -510,6 +962,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "on the benchmark suite and demo cross-check adjudication",
     )
     parser.add_argument(
+        "--incremental", action="store_true",
+        help="incremental-session mode: per-bound k-induction/kIkI timings for "
+             "the persistent-session vs template vs legacy solver lifecycles, "
+             "plus a session-vs-legacy verdict sweep over the whole suite",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help="portfolio worker-process cap (default: one per configuration)",
     )
@@ -542,8 +1000,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.portfolio and args.certify:
-        parser.error("--portfolio and --certify are mutually exclusive")
+    if sum(map(bool, (args.portfolio, args.certify, args.incremental))) > 1:
+        parser.error("--portfolio, --certify and --incremental are mutually exclusive")
+
+    if args.incremental:
+        depth = args.depth if args.depth is not None else 32
+        names = args.benchmarks if args.benchmarks else DEFAULT_INCREMENTAL_BENCHMARKS
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        kind_rows = run_incremental_kinduction_section(names, depth, args.timeout)
+        kiki_rows = run_incremental_kiki_section(names, depth, args.timeout)
+        bmc_rows = run_incremental_bmc_section(names, depth, args.timeout)
+        sweep_rows = run_incremental_sweep(min(depth, 8), args.timeout)
+        out = args.out or "BENCH_incremental.json"
+        return (
+            0
+            if write_incremental_report(
+                kind_rows, kiki_rows, bmc_rows, sweep_rows, out, depth, args.timeout
+            )
+            else 1
+        )
 
     if args.portfolio:
         depth = args.depth if args.depth is not None else 80

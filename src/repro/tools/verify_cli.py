@@ -122,10 +122,30 @@ def _format_detail(detail: Dict[str, object]) -> str:
     return ", ".join(f"{key}={value}" for key, value in interesting.items())
 
 
-def _print_single(result: VerificationResult) -> None:
+def _print_solver_stats(stats: Optional[Dict[str, object]], label: str = "solver") -> None:
+    """One line of SAT-solver counters (the ``-v`` view)."""
+    if not stats:
+        return
+    print(
+        f"{label}: conflicts={stats.get('conflicts', 0)} "
+        f"propagations={stats.get('propagations', 0)} "
+        f"decisions={stats.get('decisions', 0)} "
+        f"restarts={stats.get('restarts', 0)} "
+        f"learned={stats.get('learned_clauses', 0)} "
+        f"reduce_db={stats.get('reduce_db', 0)} "
+        f"deleted={stats.get('deleted_clauses', 0)} "
+        f"minimized={stats.get('minimized_literals', 0)} "
+        f"retired_activations={stats.get('retired_activations', 0)} "
+        f"retired_clauses={stats.get('retired_clauses', 0)}"
+    )
+
+
+def _print_single(result: VerificationResult, verbose: bool = False) -> None:
     _print_header("engine")
     note = _format_detail(result.detail) or result.reason
     print(_row(result.engine, result.status, result.runtime, note))
+    if verbose:
+        _print_solver_stats(result.detail.get("solver_stats"))
     if result.counterexample is not None:
         print(
             f"\ncounterexample: {result.counterexample.length} cycles "
@@ -133,7 +153,7 @@ def _print_single(result: VerificationResult) -> None:
         )
 
 
-def _print_portfolio(result: PortfolioResult) -> None:
+def _print_portfolio(result: PortfolioResult, verbose: bool = False) -> None:
     _print_header("configuration")
     for outcome in result.workers:
         if outcome.result is not None:
@@ -146,6 +166,13 @@ def _print_portfolio(result: PortfolioResult) -> None:
         print(_row(outcome.label, status, outcome.runtime, f"{note}{marker}"))
     print("-" * 64)
     print(_row("portfolio", result.status, result.runtime, result.reason))
+    if verbose:
+        for outcome in result.workers:
+            if outcome.result is not None:
+                _print_solver_stats(
+                    outcome.result.detail.get("solver_stats"),
+                    label=f"solver[{outcome.label}]",
+                )
     if result.counterexample is not None:
         print(
             f"\ncounterexample: {result.counterexample.length} cycles "
@@ -247,6 +274,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-certificate", metavar="PATH", default=None,
                         help="write the certificate JSON to PATH (witnesses also "
                              "get an AIGER .cex stimulus next to it)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print per-engine SAT solver statistics (conflicts, "
+                             "propagations, decisions, restarts, clause-DB "
+                             "reductions, minimized literals, retired activations)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress events")
     parser.add_argument("--list-engines", action="store_true",
                         help="list registered engines with aliases and capabilities")
@@ -304,7 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         result = engine.verify(args.property_name, timeout=args.timeout)
         result.status = _classify(result.status, expected)
-        _print_single(result)
+        _print_single(result, verbose=args.verbose)
         if args.certify:
             result.status = _certify(task, result, result.status, args.timeout)
         if args.save_certificate:
@@ -340,7 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(timeout {args.timeout:g}s{', cross-check' if args.cross_check else ''})"
     )
     result = runner.run(task, args.property_name)
-    _print_portfolio(result)
+    _print_portfolio(result, verbose=args.verbose)
     final_status = result.status
     if args.certify:
         final_status = _certify(task, result, final_status, args.timeout)
