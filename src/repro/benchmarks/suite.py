@@ -171,6 +171,9 @@ def _build_mac16() -> TransitionSystem:
         "cnt", bv_ite(bv_eq(cnt, bv_const(9, 4)), bv_const(0, 4), cnt + bv_const(1, 4))
     )
     ts.add_property("cnt_in_range", bv_ne(cnt, bv_const(10, 4)))
+    # second property (multi-property design): the batch runner shards one
+    # worker per property, so both verify concurrently over the shared blast
+    ts.add_property("cnt_le_9", bv_ule(cnt, bv_const(9, 4)))
     ts.source = "opencores-style MAC datapath"
     return ts
 
@@ -210,6 +213,9 @@ def _build_proc3() -> TransitionSystem:
     ts.set_next("pc", bv_ite(execute, pc + bv_const(1, 4), pc))
     ts.set_next("acc", bv_ite(execute, acc + imm, acc))
     ts.add_property("valid_stage", bv_ne(stage, bv_const(3, 2)))
+    # second property (multi-property design, see mac16): same invariant
+    # stated as a bound, sharded to its own batch worker
+    ts.add_property("stage_le_2", bv_ule(stage, bv_const(2, 2)))
     ts.source = "modelled on the VIS non-pipelined processor"
     return ts
 

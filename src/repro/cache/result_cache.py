@@ -1,0 +1,296 @@
+"""The certificate-keyed result cache: re-validate instead of re-verify.
+
+:class:`ResultCache` serves repeated verification queries from a store of
+validated certificates.  The contract:
+
+* the key is a content hash of ``(design, property, representation)``
+  (:func:`repro.cache.key.cache_key`), so any semantic mutation of the query
+  misses;
+* a lookup *never* trusts the store: the entry's certificate is re-validated
+  against the queried design by the independent
+  :class:`repro.certs.CertificateValidator` before the verdict is served.  A
+  hit is a validated certificate; an entry that fails re-validation (corrupt,
+  tampered, or wrong) is deleted and reported as a miss;
+* only definitive verdicts carrying certificates that the validator accepts
+  are stored, and SAFE certificates are shrunk first
+  (:mod:`repro.cache.minimize`) so the re-validation on future hits stays
+  fast.
+
+Re-validating is much cheaper than re-verifying: the engine searched for the
+invariant or trace, the validator only checks it (a handful of SAT queries
+respectively one concrete replay).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cache.key import cache_key
+from repro.cache.minimize import MinimizationResult, minimize_certificate
+from repro.cache.store import CacheEntry, CertificateStore
+from repro.certs import (
+    INDUCTIVE,
+    K_INDUCTIVE,
+    WITNESS,
+    ValidationResult,
+    validate_certificate,
+)
+from repro.engines.result import Status, VerificationResult
+from repro.netlist import TransitionSystem
+
+#: certificate kinds that can justify each definitive status (a witness can
+#: never be served for SAFE, an invariant never for UNSAFE)
+_KINDS_FOR_STATUS = {
+    Status.UNSAFE: (WITNESS,),
+    Status.SAFE: (INDUCTIVE, K_INDUCTIVE),
+}
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one cache lookup."""
+
+    hit: bool
+    key: str
+    reason: str
+    result: Optional[VerificationResult] = None
+    entry: Optional[CacheEntry] = None
+    validation: Optional[ValidationResult] = None
+    #: an entry existed but failed re-validation and was dropped
+    demoted: bool = False
+    runtime_s: float = 0.0
+
+
+@dataclass
+class CacheStoreOutcome:
+    """Outcome of offering one result to the cache."""
+
+    stored: bool
+    key: str
+    reason: str
+    path: Optional[str] = None
+    minimization: Optional[MinimizationResult] = None
+    validate_original_s: Optional[float] = None
+    validate_minimized_s: Optional[float] = None
+
+
+class ResultCache:
+    """An on-disk, certificate-keyed verification result cache."""
+
+    def __init__(
+        self,
+        root: str,
+        validation_timeout: Optional[float] = None,
+        minimize: bool = True,
+        minimize_max_checks: int = 64,
+    ) -> None:
+        self.store_backend = CertificateStore(root)
+        self.validation_timeout = validation_timeout
+        self.minimize = minimize
+        self.minimize_max_checks = minimize_max_checks
+        # observability counters (per ResultCache instance)
+        self.hits = 0
+        self.misses = 0
+        self.demotions = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> str:
+        return self.store_backend.root
+
+    def key_for(
+        self, system: TransitionSystem, property_name: str, representation: str = "word"
+    ) -> str:
+        return cache_key(system, property_name, representation)
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        system: TransitionSystem,
+        property_name: str,
+        representation: str = "word",
+    ) -> CacheLookup:
+        """Look one query up; a hit is served only after re-validation."""
+        start = time.monotonic()
+        key = self.key_for(system, property_name, representation)
+
+        def miss(reason: str, demoted: bool = False, **extra) -> CacheLookup:
+            self.misses += 1
+            if demoted:
+                self.demotions += 1
+            return CacheLookup(
+                False,
+                key,
+                reason,
+                demoted=demoted,
+                runtime_s=time.monotonic() - start,
+                **extra,
+            )
+
+        entry = self.store_backend.load(key)
+        if entry is None:
+            return miss("absent")
+        allowed = _KINDS_FOR_STATUS.get(entry.status)
+        certificate_kind = getattr(entry.certificate, "kind", None)
+        if (
+            allowed is None
+            or certificate_kind not in allowed
+            or entry.property_name != property_name
+            or getattr(entry.certificate, "property_name", None) != property_name
+        ):
+            # malformed provenance: the certificate cannot justify the claim
+            self.store_backend.delete(key)
+            return miss("entry cannot justify its verdict", demoted=True, entry=entry)
+
+        validation = validate_certificate(
+            system, entry.certificate, timeout=self.validation_timeout
+        )
+        if not validation.ok:
+            self.store_backend.delete(key)
+            return miss(
+                f"re-validation failed: {validation.reason}",
+                demoted=True,
+                entry=entry,
+                validation=validation,
+            )
+
+        self.hits += 1
+        runtime = time.monotonic() - start
+        result = VerificationResult(
+            entry.status,
+            f"cache:{entry.engine}" if entry.engine else "cache",
+            property_name,
+            runtime=runtime,
+            detail={
+                "cache": {
+                    "key": key,
+                    "design": entry.design,
+                    "engine": entry.engine,
+                    "representation": entry.representation,
+                    "minimized": entry.minimized,
+                    "invariant_size": entry.size,
+                },
+                "validation": validation.to_json(),
+            },
+            reason="served from the certificate cache after re-validation",
+            certificate=entry.certificate,
+        )
+        return CacheLookup(
+            True,
+            key,
+            "hit (re-validated)",
+            result=result,
+            entry=entry,
+            validation=validation,
+            runtime_s=runtime,
+        )
+
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        system: TransitionSystem,
+        property_name: str,
+        representation: str,
+        result: VerificationResult,
+        design: str = "",
+    ) -> CacheStoreOutcome:
+        """Offer one engine result to the cache.
+
+        Only definitive verdicts whose certificate the independent validator
+        accepts enter the store; SAFE certificates are minimized first.  The
+        timing of the original-vs-minimized validator passes is recorded so
+        harnesses can report the hit-latency effect of minimization.
+        """
+        key = self.key_for(system, property_name, representation)
+        certificate = getattr(result, "certificate", None)
+        allowed = _KINDS_FOR_STATUS.get(result.status)
+        if allowed is None:
+            return CacheStoreOutcome(False, key, "verdict is not definitive")
+        if certificate is None:
+            return CacheStoreOutcome(False, key, "result carries no certificate")
+        if getattr(certificate, "kind", None) not in allowed:
+            return CacheStoreOutcome(
+                False, key, "certificate kind cannot justify the verdict"
+            )
+
+        t0 = time.monotonic()
+        validation = validate_certificate(
+            system, certificate, timeout=self.validation_timeout
+        )
+        validate_original_s = time.monotonic() - t0
+        if not validation.ok:
+            return CacheStoreOutcome(
+                False,
+                key,
+                f"certificate failed validation: {validation.reason}",
+                validate_original_s=validate_original_s,
+            )
+
+        minimization: Optional[MinimizationResult] = None
+        validate_minimized_s = validate_original_s
+        if self.minimize and result.status == Status.SAFE:
+            minimization = minimize_certificate(
+                system,
+                certificate,
+                timeout=self.validation_timeout,
+                max_checks=self.minimize_max_checks,
+            )
+            certificate = minimization.certificate
+            if minimization.dropped:
+                t1 = time.monotonic()
+                final = validate_certificate(
+                    system, certificate, timeout=self.validation_timeout
+                )
+                validate_minimized_s = time.monotonic() - t1
+                if not final.ok:  # pragma: no cover - minimizer re-checks drops
+                    certificate = getattr(result, "certificate")
+                    minimization = None
+                    validate_minimized_s = validate_original_s
+
+        # both single-engine VerificationResults and aggregated
+        # PortfolioResults (winner_engine) are storable
+        engine = (
+            getattr(result, "engine", None)
+            or getattr(result, "winner_engine", None)
+            or ""
+        )
+        entry = CacheEntry(
+            key=key,
+            status=result.status,
+            property_name=property_name,
+            engine=engine,
+            representation=representation,
+            certificate=certificate,
+            design=design or getattr(system, "name", ""),
+            minimized=bool(minimization and minimization.dropped),
+            original_size=minimization.original_size if minimization else None,
+            size=minimization.size if minimization else None,
+            extra={
+                "validate_original_s": round(validate_original_s, 6),
+                "validate_minimized_s": round(validate_minimized_s, 6),
+            },
+        )
+        path = self.store_backend.save(entry)
+        self.stores += 1
+        return CacheStoreOutcome(
+            True,
+            key,
+            "stored",
+            path=path,
+            minimization=minimization,
+            validate_original_s=validate_original_s,
+            validate_minimized_s=validate_minimized_s,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "demotions": self.demotions,
+            "stores": self.stores,
+            "entries": len(self.store_backend),
+        }

@@ -1,0 +1,165 @@
+"""On-disk store of validated certificates, one JSON document per key.
+
+The store is deliberately dumb: it maps cache keys to ``repro-cert-v1``
+certificate documents (plus provenance metadata) laid out as
+``<root>/<key[:2]>/<key>.json``, with atomic writes (temp file + rename) so
+a concurrent reader never sees a torn entry.  *It is not trusted*: every
+entry is re-validated against the queried design by
+:class:`repro.cache.result_cache.ResultCache` before being served, so a
+corrupted, tampered or simply wrong entry costs a cache miss, never a wrong
+verdict.  Accordingly, any parse failure here degrades to "absent".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.certs import CertificateError, certificate_from_json, certificate_to_json
+
+#: format tag of a store entry document
+ENTRY_FORMAT = "repro-cache-entry-v1"
+
+
+@dataclass
+class CacheEntry:
+    """One stored verdict: a validated certificate plus provenance."""
+
+    key: str
+    status: str
+    property_name: str
+    engine: str
+    representation: str
+    certificate: object
+    design: str = ""
+    created_s: float = 0.0
+    #: invariant-minimization provenance (conjunct counts, see minimize.py)
+    minimized: bool = False
+    original_size: Optional[int] = None
+    size: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": ENTRY_FORMAT,
+            "key": self.key,
+            "status": self.status,
+            "property": self.property_name,
+            "engine": self.engine,
+            "representation": self.representation,
+            "design": self.design,
+            "created_s": self.created_s,
+            "minimized": self.minimized,
+            "original_size": self.original_size,
+            "size": self.size,
+            "extra": self.extra,
+            "certificate": certificate_to_json(self.certificate),
+        }
+
+    @staticmethod
+    def from_json(document: object) -> "CacheEntry":
+        if not isinstance(document, dict):
+            raise CertificateError("cache entry must be a JSON object")
+        if document.get("format") != ENTRY_FORMAT:
+            raise CertificateError(
+                f"unsupported cache entry format {document.get('format')!r}"
+            )
+        certificate = certificate_from_json(document.get("certificate"))
+        status = document.get("status")
+        property_name = document.get("property")
+        if not isinstance(status, str) or not isinstance(property_name, str):
+            raise CertificateError("cache entry status/property must be strings")
+        return CacheEntry(
+            key=str(document.get("key", "")),
+            status=status,
+            property_name=property_name,
+            engine=str(document.get("engine", "")),
+            representation=str(document.get("representation", "word")),
+            certificate=certificate,
+            design=str(document.get("design", "")),
+            created_s=float(document.get("created_s", 0.0)),
+            minimized=bool(document.get("minimized", False)),
+            original_size=document.get("original_size"),
+            size=document.get("size"),
+            extra=dict(document.get("extra", {})),
+        )
+
+
+class CertificateStore:
+    """The file-system layer of the result cache."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        """Read one entry; any I/O or parse failure reads as absent."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            entry = CacheEntry.from_json(document)
+        except (OSError, ValueError):  # CertificateError is a ValueError
+            return None
+        if entry.key != key:
+            # a moved/renamed file must not impersonate another query
+            return None
+        return entry
+
+    def save(self, entry: CacheEntry) -> str:
+        """Atomically write one entry; returns its path."""
+        path = self.path_for(entry.key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        if not entry.created_s:
+            entry.created_s = time.time()
+        payload = json.dumps(entry.to_json(), indent=2) + "\n"
+        fd, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Drop one entry (used to demote an entry that failed revalidation)."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_path = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_path):
+                continue
+            for name in sorted(os.listdir(shard_path)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    def entries(self) -> List[CacheEntry]:
+        return [
+            entry for entry in (self.load(key) for key in self.keys()) if entry
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

@@ -38,14 +38,18 @@ from repro.engines.registry import (
     make_engine,
 )
 from repro.engines.portfolio import (
+    LadderRung,
     PortfolioConfig,
     PortfolioResult,
     PortfolioRunner,
     VerificationTask,
     WorkerOutcome,
+    default_budget_ladder,
     default_portfolio_configs,
+    learn_priors,
     run_portfolio,
 )
+from repro.engines.batch import BatchItem, BatchReport, BatchRunner
 
 __all__ = [
     "Status",
@@ -69,11 +73,17 @@ __all__ = [
     "get_registration",
     "list_engines",
     "make_engine",
+    "LadderRung",
     "PortfolioConfig",
     "PortfolioResult",
     "PortfolioRunner",
     "VerificationTask",
     "WorkerOutcome",
+    "default_budget_ladder",
     "default_portfolio_configs",
+    "learn_priors",
     "run_portfolio",
+    "BatchItem",
+    "BatchReport",
+    "BatchRunner",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.certs import InductiveCertificate
 from repro.engines.base import Engine, EngineCapabilities
+from repro.engines.encoding import flattened_cached
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import TRUE, Expr, bv_const, bv_var, bool_and
 from repro.exprs.nodes import Const, Op, Var, mask, to_signed
@@ -317,7 +318,7 @@ class AbstractInterpretationEngine(Engine):
 
     name = "abstract-interpretation"
     capabilities = EngineCapabilities(
-        can_prove=True, can_refute=False, representations=("word",)
+        can_prove=True, can_refute=False, representations=("word",), cost="cheap"
     )
 
     def __init__(
@@ -327,7 +328,9 @@ class AbstractInterpretationEngine(Engine):
         max_iterations: int = 200,
     ) -> None:
         super().__init__(system)
-        self.flat = system.flattened()
+        # shared memoized flatten: portfolio workers forked after the parent
+        # pre-warm inherit it copy-on-write instead of re-flattening
+        self.flat = flattened_cached(system)
         self.widen_after = widen_after
         self.max_iterations = max_iterations
 

@@ -44,12 +44,29 @@ class EngineCapabilities:
     see :class:`repro.engines.encoding.FrameEncoder`).  ``complete`` marks
     engines that terminate with a definitive answer on every finite-state
     design given enough resources.
+
+    ``cost`` is the engine's scheduling tier: ``"cheap"`` engines (bounded
+    refuters, abstract interpretation) answer or give up within a small
+    budget, ``"medium"`` engines (k-induction-family provers) usually settle
+    within a moderate one, ``"heavy"`` engines (fixpoint provers) may need
+    the full budget.  The budget-ladder scheduler of
+    :mod:`repro.engines.portfolio` maps tiers onto rungs: cheap engines run
+    first at a small budget and the ladder escalates tier by tier.
     """
+
+    COST_TIERS = ("cheap", "medium", "heavy")
 
     can_prove: bool
     can_refute: bool
     representations: Tuple[str, ...] = ("word",)
     complete: bool = False
+    #: scheduling tier used by the budget ladder ("cheap"/"medium"/"heavy")
+    cost: str = "heavy"
+
+    @property
+    def cost_rank(self) -> int:
+        """The ladder rung index of the engine's cost tier."""
+        return self.COST_TIERS.index(self.cost)
 
     def describe(self) -> str:
         """Short human-readable capability tag, e.g. ``prove+refute [word,bit]``."""

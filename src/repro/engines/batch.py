@@ -1,0 +1,524 @@
+"""Batched suite sweeps over one warm process pool.
+
+The serving workload of the ROADMAP is not "one design, one query" but a
+*sweep*: many designs × properties verified together, repeatedly.  The
+:class:`BatchRunner` turns such a sweep into one warm pipeline:
+
+* items are expanded to one unit of work per ``(design, property)`` — a
+  multi-property design is sharded one worker per *property*, so its
+  properties verify concurrently while sharing the design's blast;
+* the parent pre-blasts every task's frame-template library once and then
+  forks the pool, so all workers inherit the warm blasts via copy-on-write
+  (same mechanism as the portfolio pre-warm, amortized over the whole
+  batch instead of one query);
+* each item is first looked up in the certificate-keyed
+  :class:`repro.cache.ResultCache` (when one is attached): hits are served
+  from the parent after independent re-validation, only misses reach the
+  pool;
+* pool workers run the *sequential* budget ladder
+  (:func:`run_sequential_ladder`): with the pool already saturating the
+  cores on batch parallelism, racing engines per item would oversubscribe —
+  instead each worker escalates cheap → medium → heavy in-process and stops
+  at the first definitive answer;
+* definitive results flow back to the parent, are validated, minimized and
+  stored into the cache, so the *next* sweep over the same designs is all
+  hits.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.portfolio import (
+    LadderRung,
+    VerificationTask,
+    default_budget_ladder,
+    learn_priors,
+    warm_task_templates,
+)
+from repro.engines.registry import make_engine
+from repro.engines.result import Budget, Status, VerificationResult
+
+
+# ---------------------------------------------------------------------------
+# the sequential in-process budget ladder (one batch worker = one item)
+# ---------------------------------------------------------------------------
+
+
+def run_sequential_ladder(
+    system,
+    property_name: Optional[str],
+    rungs: Sequence[LadderRung],
+    timeout: Optional[float] = None,
+) -> VerificationResult:
+    """Escalate through the ladder rungs one engine at a time, in-process.
+
+    Every configuration of a rung runs with the rung's remaining budget
+    (clipped to the overall ``timeout``); the first definitive answer wins
+    and the attempt log is recorded under ``detail["ladder_attempts"]``.
+    Engine crashes are recorded and skipped — the batch counterpart of the
+    portfolio's crash category.
+    """
+    budget = Budget(timeout)
+    attempts: List[Dict[str, object]] = []
+    saw_unknown = False
+    for rung_index, rung in enumerate(rungs):
+        rung_deadline = (
+            None if rung.budget is None else time.monotonic() + rung.budget
+        )
+        for config in rung.configs:
+            remaining = budget.remaining()
+            if remaining is not None and remaining <= 0:
+                break
+            allowance = remaining
+            if rung_deadline is not None:
+                rung_left = rung_deadline - time.monotonic()
+                if rung_left <= 0:
+                    break
+                allowance = (
+                    rung_left if allowance is None else min(allowance, rung_left)
+                )
+            t0 = time.monotonic()
+            try:
+                engine = make_engine(
+                    config.engine,
+                    system,
+                    ignore_unknown_options=True,
+                    **config.options_dict,
+                )
+                result = engine.verify(property_name, timeout=allowance)
+            except Exception as error:  # noqa: BLE001 - crash category
+                attempts.append(
+                    {
+                        "config": config.label,
+                        "rung": rung_index,
+                        "status": Status.ERROR,
+                        "runtime_s": round(time.monotonic() - t0, 6),
+                        "reason": f"{type(error).__name__}: {error}",
+                    }
+                )
+                continue
+            attempts.append(
+                {
+                    "config": config.label,
+                    "rung": rung_index,
+                    "status": result.status,
+                    "runtime_s": round(time.monotonic() - t0, 6),
+                }
+            )
+            if result.status == Status.UNKNOWN:
+                saw_unknown = True
+            if result.is_definitive:
+                result.detail["ladder_rung"] = rung_index
+                result.detail["ladder_attempts"] = attempts
+                # keep result.runtime as the deciding engine's own time —
+                # consumers (learn_priors) attribute it to that engine, so it
+                # must not absorb earlier rungs' failed probes; the whole
+                # ladder's elapsed time is reported separately
+                result.detail["ladder_wall_s"] = round(budget.elapsed(), 6)
+                return result
+        if budget.expired():
+            break
+    status = Status.UNKNOWN if saw_unknown else Status.TIMEOUT
+    if attempts and all(a["status"] == Status.ERROR for a in attempts):
+        status = Status.ERROR
+    resolved_property = property_name or (
+        system.properties[0].name if system.properties else ""
+    )
+    return VerificationResult(
+        status,
+        "ladder",
+        resolved_property,
+        runtime=budget.elapsed(),
+        detail={"ladder_attempts": attempts},
+        reason="no ladder configuration reached a definitive answer",
+    )
+
+
+# ---------------------------------------------------------------------------
+# batch items and per-item results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One batch request: a task and (optionally) one of its properties.
+
+    ``property_name=None`` expands to one unit of work per declared
+    property of the design.  ``expected`` is the known ground truth used for
+    the WRONG classification; for suite benchmarks it defaults to the
+    suite's recorded verdict.
+    """
+
+    task: VerificationTask
+    property_name: Optional[str] = None
+    expected: Optional[str] = None
+
+    @staticmethod
+    def benchmark(name: str, property_name: Optional[str] = None) -> "BatchItem":
+        return BatchItem(VerificationTask.benchmark(name), property_name)
+
+
+@dataclass
+class BatchItemResult:
+    """The outcome of one ``(design, property)`` unit of work."""
+
+    design: str
+    property_name: str
+    status: str
+    #: "cache" for hits, the deciding engine name for pool runs
+    source: str
+    runtime_s: float
+    cache_key: Optional[str] = None
+    #: True iff the verdict is backed by an independently validated
+    #: certificate (always true for cache hits; true for stored results)
+    validated: bool = False
+    stored: bool = False
+    rung: Optional[int] = None
+    expected: Optional[str] = None
+    reason: str = ""
+    minimization: Optional[Dict[str, object]] = None
+
+    @property
+    def correct(self) -> Optional[bool]:
+        if self.expected is None or self.status not in Status.DEFINITIVE:
+            return None
+        return self.status == self.expected
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "design": self.design,
+            "property": self.property_name,
+            "status": self.status,
+            "source": self.source,
+            "runtime_s": round(self.runtime_s, 6),
+            "cache_key": self.cache_key,
+            "validated": self.validated,
+            "stored": self.stored,
+            "rung": self.rung,
+            "expected": self.expected,
+            "correct": self.correct,
+            "reason": self.reason,
+            "minimization": self.minimization,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of one batch sweep."""
+
+    items: List[BatchItemResult] = field(default_factory=list)
+    wall_s: float = 0.0
+    workers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    demotions: int = 0
+
+    @property
+    def all_definitive(self) -> bool:
+        return all(item.status in Status.DEFINITIVE for item in self.items)
+
+    @property
+    def all_correct(self) -> bool:
+        return all(item.correct is not False for item in self.items)
+
+    def verdicts(self) -> Dict[Tuple[str, str], str]:
+        return {
+            (item.design, item.property_name): item.status for item in self.items
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "workers": self.workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "demotions": self.demotions,
+            "all_definitive": self.all_definitive,
+            "all_correct": self.all_correct,
+            "items": [item.to_json() for item in self.items],
+        }
+
+
+# ---------------------------------------------------------------------------
+# the pool worker
+# ---------------------------------------------------------------------------
+
+
+def _batch_worker(
+    payload: Tuple[int, VerificationTask, Optional[str], Tuple[LadderRung, ...], Optional[float]],
+) -> Tuple[int, VerificationResult]:
+    """Run one unit of work (sequential ladder) in a pool process."""
+    index, task, property_name, rungs, timeout = payload
+    start = time.monotonic()
+    try:
+        system = task.load()
+        result = run_sequential_ladder(system, property_name, rungs, timeout)
+    except Exception as error:  # noqa: BLE001 - loader/ladder crash
+        result = VerificationResult(
+            Status.ERROR,
+            "batch",
+            property_name or "",
+            runtime=time.monotonic() - start,
+            reason=f"{type(error).__name__}: {error}",
+        )
+    try:
+        pickle.dumps(result)
+    except Exception:  # pragma: no cover - unpicklable engine detail
+        result = VerificationResult(
+            result.status,
+            result.engine,
+            result.property_name,
+            runtime=result.runtime,
+            reason=result.reason or "detail dropped (not picklable)",
+        )
+    return index, result
+
+
+# ---------------------------------------------------------------------------
+# the batch runner
+# ---------------------------------------------------------------------------
+
+
+class BatchRunner:
+    """Verify many designs × properties through one warm process pool.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`repro.cache.ResultCache`.  Hits are served from
+        the parent after re-validation; definitive pool results are
+        validated, minimized and stored back, so the cache warms up over
+        the batch and across batches.
+    jobs:
+        Pool size (default: CPU count, capped by the number of misses).
+    timeout:
+        Per-item wall-clock budget in seconds.
+    bound:
+        Search-depth cap routed to every engine of the ladder.
+    ladder:
+        The rung schedule each worker escalates through (default: the
+        cost-tier ladder of :func:`default_budget_ladder`, ordered by
+        priors learned from local ``BENCH_*.json`` reports).
+    on_event:
+        Optional callback receiving progress dicts (``hit``/``scheduled``/
+        ``result``/``stored`` events).
+    """
+
+    def __init__(
+        self,
+        cache=None,
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+        bound: Optional[int] = None,
+        representation: str = "word",
+        ladder: Optional[Sequence[LadderRung]] = None,
+        priors: Optional[Dict[str, Dict[str, float]]] = None,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+        warm_templates: bool = True,
+    ) -> None:
+        self.cache = cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.bound = bound
+        self.representation = representation
+        if ladder is None:
+            if priors is None:
+                priors = learn_priors()
+            ladder = default_budget_ladder(
+                (representation,), bound=bound, timeout=timeout, priors=priors
+            )
+        self.ladder = tuple(ladder)
+        self.on_event = on_event
+        self.warm_templates = warm_templates
+        start_methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in start_methods else "spawn"
+        )
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, **payload) -> None:
+        if self.on_event is not None:
+            self.on_event({"event": event, **payload})
+
+    def _expand(
+        self, items: Sequence[BatchItem]
+    ) -> List[Tuple[VerificationTask, str, Optional[str]]]:
+        """One unit of work per (task, property): the per-property sharding."""
+        units: List[Tuple[VerificationTask, str, Optional[str]]] = []
+        for item in items:
+            expected = item.expected
+            if expected is None and item.task.kind == "benchmark":
+                from repro.benchmarks import get_benchmark
+
+                expected = get_benchmark(item.task.spec).expected
+            if item.property_name is not None:
+                units.append((item.task, item.property_name, expected))
+                continue
+            try:
+                system = item.task.load()
+            except Exception:  # noqa: BLE001 - loader/parse failures
+                # keep the unit: the pool worker re-attempts the load and
+                # reports the failure as this item's ERROR result, so one
+                # bad target cannot abort the rest of the sweep
+                units.append((item.task, "", expected))
+                continue
+            for prop in system.properties:
+                units.append((item.task, prop.name, expected))
+        return units
+
+    def _prewarm(self, units: Sequence[Tuple[VerificationTask, str, Optional[str]]]) -> None:
+        """Blast every task's template library once, before forking the pool."""
+        if not self.warm_templates or self._context.get_start_method() != "fork":
+            return
+        seen = set()
+        for task, _, _ in units:
+            key = (task.kind, id(task.spec) if task.kind == "system" else task.spec)
+            if key in seen:
+                continue
+            seen.add(key)
+            warm_task_templates(task, (self.representation,))
+
+    # ------------------------------------------------------------------
+    def run(self, items: Sequence[BatchItem]) -> BatchReport:
+        """Sweep the batch; returns the per-item report."""
+        start = time.monotonic()
+        units = self._expand(items)
+        report = BatchReport(items=[None] * len(units))  # type: ignore[list-item]
+
+        # serve cache hits from the parent (re-validated), queue the misses
+        pending: List[int] = []
+        for index, (task, property_name, expected) in enumerate(units):
+            if self.cache is None:
+                pending.append(index)
+                continue
+            try:
+                system = task.load()
+            except Exception:  # noqa: BLE001 - loader/parse failures
+                pending.append(index)  # the worker reports the load error
+                continue
+            lookup = self.cache.lookup(system, property_name, self.representation)
+            if lookup.hit:
+                assert lookup.result is not None
+                report.cache_hits += 1
+                entry = lookup.entry
+                report.items[index] = BatchItemResult(
+                    design=task.name,
+                    property_name=property_name,
+                    status=lookup.result.status,
+                    source="cache",
+                    runtime_s=lookup.runtime_s,
+                    cache_key=lookup.key,
+                    validated=True,
+                    expected=expected,
+                    reason=lookup.result.reason,
+                    minimization=(
+                        {
+                            "minimized": entry.minimized,
+                            "original_size": entry.original_size,
+                            "size": entry.size,
+                        }
+                        if entry is not None and entry.size is not None
+                        else None
+                    ),
+                )
+                self._emit(
+                    "hit",
+                    design=task.name,
+                    property=property_name,
+                    status=lookup.result.status,
+                )
+            else:
+                report.cache_misses += 1
+                if lookup.demoted:
+                    report.demotions += 1
+                    self._emit(
+                        "demoted",
+                        design=task.name,
+                        property=property_name,
+                        reason=lookup.reason,
+                    )
+                pending.append(index)
+
+        if pending:
+            self._prewarm([units[index] for index in pending])
+            jobs = self.jobs or os.cpu_count() or 1
+            jobs = max(1, min(jobs, len(pending)))
+            report.workers = jobs
+            payloads = [
+                (index, units[index][0], units[index][1], self.ladder, self.timeout)
+                for index in pending
+            ]
+            for index in pending:
+                task, property_name, _ = units[index]
+                self._emit("scheduled", design=task.name, property=property_name)
+            with self._context.Pool(processes=jobs) as pool:
+                for index, result in pool.imap_unordered(_batch_worker, payloads):
+                    task, property_name, expected = units[index]
+                    report.items[index] = self._finish(
+                        task, property_name, expected, result
+                    )
+                pool.close()
+                pool.join()
+
+        report.wall_s = time.monotonic() - start
+        return report
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        task: VerificationTask,
+        property_name: str,
+        expected: Optional[str],
+        result: VerificationResult,
+    ) -> BatchItemResult:
+        """Record one pool result, storing it into the cache when possible."""
+        row = BatchItemResult(
+            design=task.name,
+            property_name=property_name,
+            status=result.status,
+            source=result.engine,
+            runtime_s=result.runtime,
+            rung=result.detail.get("ladder_rung"),
+            expected=expected,
+            reason=result.reason,
+        )
+        self._emit(
+            "result",
+            design=task.name,
+            property=property_name,
+            status=result.status,
+            source=result.engine,
+            runtime=result.runtime,
+        )
+        if self.cache is not None and result.is_definitive:
+            system = task.load()
+            outcome = self.cache.store(
+                system, property_name, self.representation, result, design=task.name
+            )
+            row.cache_key = outcome.key
+            row.stored = outcome.stored
+            row.validated = outcome.stored
+            if outcome.minimization is not None:
+                row.minimization = {
+                    "minimized": bool(outcome.minimization.dropped),
+                    "original_size": outcome.minimization.original_size,
+                    "size": outcome.minimization.size,
+                    "checks": outcome.minimization.checks,
+                    "validate_original_s": round(outcome.validate_original_s or 0.0, 6),
+                    "validate_minimized_s": round(outcome.validate_minimized_s or 0.0, 6),
+                }
+            if outcome.stored:
+                self._emit(
+                    "stored", design=task.name, property=property_name, key=outcome.key
+                )
+            else:
+                row.reason = (row.reason + "; " if row.reason else "") + (
+                    f"not cached: {outcome.reason}"
+                )
+        return row

@@ -48,7 +48,7 @@ class BMCEngine(Engine):
 
     name = "bmc"
     capabilities = EngineCapabilities(
-        can_prove=False, can_refute=True, representations=("word", "bit")
+        can_prove=False, can_refute=True, representations=("word", "bit"), cost="cheap"
     )
 
     def __init__(

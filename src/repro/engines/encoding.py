@@ -423,6 +423,37 @@ def _system_fingerprint(system: TransitionSystem) -> int:
     )
 
 
+#: system -> (fingerprint, flattened system); shared by the template library
+#: and by the expression-level engines (abstract interpretation, IMPACT,
+#: predicate abstraction, kIkI's invariant pruning), so a design is flattened
+#: once per process instead of once per engine construction — in a portfolio
+#: worker forked after the parent pre-warm, the flatten arrives via
+#: copy-on-write exactly like the blasted templates do
+_FLAT_SYSTEMS: "weakref.WeakKeyDictionary[TransitionSystem, Tuple[int, TransitionSystem]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def flattened_cached(system: TransitionSystem) -> TransitionSystem:
+    """Return the (memoized, validated) wire-free flattening of a design.
+
+    The result is shared: callers must treat it as read-only.  A content
+    fingerprint invalidates the entry if the design object is mutated
+    between calls.
+    """
+    fingerprint = _system_fingerprint(system)
+    entry = _FLAT_SYSTEMS.get(system)
+    if entry is not None and entry[0] == fingerprint:
+        return entry[1]
+    flat = system.flattened()
+    flat.validate()
+    try:
+        _FLAT_SYSTEMS[system] = (fingerprint, flat)
+    except TypeError:  # pragma: no cover - non-weakrefable subclass
+        pass
+    return flat
+
+
 class TemplateLibrary:
     """The one-time blasting artifacts of a ``(system, representation)`` pair.
 
@@ -437,8 +468,7 @@ class TemplateLibrary:
     def __init__(self, system: TransitionSystem, representation: str) -> None:
         self.representation = representation
         self.fingerprint = _system_fingerprint(system)
-        self.flat = system.flattened()
-        self.flat.validate()
+        self.flat = flattened_cached(system)
         self.aig: Optional[AIG] = None
         self._property_templates: Dict[str, FrameTemplate] = {}
         if representation == "bit":

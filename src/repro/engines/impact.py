@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
-from repro.engines.encoding import FrameEncoder
+from repro.engines.encoding import FrameEncoder, flattened_cached
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr, TRUE, bool_and, bool_not, bool_or, bv_var, simplify
 from repro.netlist import TransitionSystem
@@ -56,7 +56,7 @@ class ImpactEngine(Engine):
         persistent_session: bool = True,
     ) -> None:
         super().__init__(system)
-        self.flat = system.flattened()
+        self.flat = flattened_cached(system)
         self.max_depth = max_depth
         self.representation = representation
         self.persistent_session = persistent_session

@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
-from repro.engines.encoding import FrameEncoder, frame_name
+from repro.engines.encoding import FrameEncoder, flattened_cached, frame_name
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import (
     Expr,
@@ -311,7 +311,7 @@ class InterpolationEngine(Engine):
     # ------------------------------------------------------------------
     def _init_state_expr(self) -> Expr:
         """The initial state as a predicate over the unstamped state variables."""
-        flat = self.system.flattened()
+        flat = flattened_cached(self.system)
         return bool_and(
             *[
                 bv_var(name, width).eq(flat.init[name])
@@ -493,7 +493,7 @@ class InterpolationEngine(Engine):
         retired immediately, so the blasted predicates (and anything learned
         about them) are reused across the fixpoint tests of a run.
         """
-        flat = self.system.flattened()
+        flat = flattened_cached(self.system)
         init_expr = bool_and(
             *[
                 bv_var(name, width).eq(flat.init[name])

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from repro.engines.absint import AbstractInterpretationEngine
 from repro.engines.base import Engine, EngineCapabilities
-from repro.engines.encoding import FrameEncoder
+from repro.engines.encoding import FrameEncoder, flattened_cached
 from repro.engines.kinduction import KInductionEngine
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr
@@ -35,7 +35,7 @@ class KikiEngine(Engine):
 
     name = "kiki"
     capabilities = EngineCapabilities(
-        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True
+        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True, cost="medium"
     )
 
     def __init__(
@@ -142,7 +142,7 @@ class KikiEngine(Engine):
         certified = list(invariants)
         from repro.exprs import bool_and, bool_not, evaluate
 
-        flat = self.system.flattened()
+        flat = flattened_cached(self.system)
         init_env = {name: evaluate(expr, {}) for name, expr in flat.init.items()}
         certified = [inv for inv in certified if evaluate(inv, init_env) == 1]
 

@@ -41,7 +41,7 @@ class KInductionEngine(Engine):
 
     name = "k-induction"
     capabilities = EngineCapabilities(
-        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True
+        can_prove=True, can_refute=True, representations=("word", "bit"), complete=True, cost="medium"
     )
 
     def __init__(

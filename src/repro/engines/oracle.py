@@ -28,7 +28,7 @@ class OracleEngine(Engine):
 
     name = "oracle"
     capabilities = EngineCapabilities(
-        can_prove=True, can_refute=True, representations=("word", "bit")
+        can_prove=True, can_refute=True, representations=("word", "bit"), cost="cheap"
     )
 
     def __init__(

@@ -42,6 +42,32 @@ from repro.netlist import TransitionSystem
 # ---------------------------------------------------------------------------
 
 
+#: (kind, spec) -> (file stamp, built transition system) for the file-based
+#: task kinds; suite benchmarks have their own memo (``load_system_cached``).
+#: Sharing one instance per task means every load within a process — the
+#: CLI's verify / certify / save-certificate steps, the portfolio parent's
+#: pre-warm and adjudication, every batch item on the same file — resolves
+#: to the same object, so the template library (keyed by instance) is
+#: blasted once instead of once per load.  The (mtime, size) stamp
+#: invalidates the entry when the file changes on disk: a long-lived serving
+#: process must never answer for stale file contents (the result cache keys
+#: off whatever system this loader returns).
+_TASK_SYSTEMS: Dict[Tuple[str, object], Tuple[object, TransitionSystem]] = {}
+
+#: memo cap: a pinned TransitionSystem also pins its blasted template
+#: libraries, so a long-lived serving process sweeping many distinct files
+#: must not grow without bound; eviction is oldest-first (dict order)
+_TASK_SYSTEMS_MAX = 64
+
+
+def _file_stamp(path: str) -> Optional[Tuple[int, int]]:
+    try:
+        stat = os.stat(path)
+        return (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        return None
+
+
 @dataclass(frozen=True)
 class VerificationTask:
     """A picklable description of *what* to verify.
@@ -72,32 +98,76 @@ class VerificationTask:
     def system(system: TransitionSystem) -> "VerificationTask":
         return VerificationTask("system", system, system.name)
 
-    def load(self) -> TransitionSystem:
-        """Build the transition system described by this task.
+    def load(self, fresh: bool = False) -> TransitionSystem:
+        """Build (or fetch the memoized) transition system of this task.
 
-        Suite benchmarks resolve through the memoized loader: under the
-        ``fork`` start method a worker's load returns the very object the
-        parent pre-warmed, so the blasted frame templates arrive via
-        copy-on-write memory instead of being rebuilt per worker.
+        Every kind resolves through a per-process memo: suite benchmarks via
+        :func:`repro.benchmarks.load_system_cached`, Verilog/AIGER files via
+        a ``(kind, spec)`` table here.  Repeated loads therefore return the
+        *same instance*, so the blasted frame templates (cached per system
+        object) are built once per process — and under the ``fork`` start
+        method a worker's load returns the very object the parent
+        pre-warmed, so the templates arrive via copy-on-write memory
+        instead of being rebuilt per worker.  Pass ``fresh=True`` to force
+        a cold rebuild (timing harnesses).
         """
+        if self.kind == "system":
+            return self.spec
         if self.kind == "benchmark":
-            from repro.benchmarks import load_system_cached
+            from repro.benchmarks import load_system, load_system_cached
 
-            return load_system_cached(self.spec)
+            return load_system(self.spec) if fresh else load_system_cached(self.spec)
+        key = (self.kind, self.spec)
+        path = self.spec[0] if self.kind == "verilog" else self.spec
+        stamp = _file_stamp(path)
+        if not fresh:
+            cached = _TASK_SYSTEMS.get(key)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
         if self.kind == "verilog":
             from repro.synth import synthesize_file
 
             path, top = self.spec
-            return synthesize_file(path, top=top)
-        if self.kind == "aiger":
+            system = synthesize_file(path, top=top)
+        elif self.kind == "aiger":
             from repro.aig.bitblast import transition_system_from_aig
             from repro.aig.formats import read_aiger
 
             with open(self.spec, "r", encoding="utf-8") as handle:
-                return transition_system_from_aig(read_aiger(handle.read()))
-        if self.kind == "system":
-            return self.spec
-        raise ValueError(f"unknown task kind {self.kind!r}")
+                system = transition_system_from_aig(read_aiger(handle.read()))
+        else:
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if not fresh:
+            while len(_TASK_SYSTEMS) >= _TASK_SYSTEMS_MAX:
+                _TASK_SYSTEMS.pop(next(iter(_TASK_SYSTEMS)))
+            _TASK_SYSTEMS[key] = (stamp, system)
+        return system
+
+
+def warm_task_templates(
+    task: "VerificationTask", representations: Sequence[str]
+) -> None:
+    """Blast a task's frame-template libraries in the calling process.
+
+    The template cache is keyed by system instance, and every task kind
+    resolves repeated loads to the same instance (benchmarks via the
+    memoized suite loader, files via the stamped per-task memo, systems by
+    identity) — so workers forked after this call find the parent's warm
+    blast in copy-on-write memory.  Shared by the portfolio fan-out, the
+    ladder and the batch pool.  Best-effort: failures are ignored, a worker
+    that cannot build templates reports its own error through the normal
+    result channel.
+    """
+    try:
+        from repro.engines.encoding import template_library
+
+        system = task.load()
+        for representation in sorted(set(map(str, representations))):
+            library = template_library(system, representation)
+            for prop in library.flat.properties:
+                library.property_template(prop.name)
+    except Exception:  # noqa: BLE001 - warm-up is best effort
+        pass
 
 
 @dataclass(frozen=True)
@@ -158,6 +228,171 @@ def default_portfolio_configs(
                 options.update(bound_options(bound))
             configs.append(PortfolioConfig.of(registration.name, **options))
     return configs
+
+
+# ---------------------------------------------------------------------------
+# budget-ladder scheduling
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One rung of a budget ladder: a config group and its wall-clock budget.
+
+    ``budget`` is the rung's wall-clock allowance in seconds (``None``:
+    whatever remains of the overall portfolio budget — the usual choice for
+    the final rung).  Rungs run in order; each is raced as its own
+    mini-portfolio with per-rung cancellation, and the ladder escalates only
+    when a rung ends without a definitive answer.
+    """
+
+    configs: Tuple[PortfolioConfig, ...]
+    budget: Optional[float] = None
+    tier: str = ""
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(config.label for config in self.configs)
+
+
+#: fraction of the overall budget granted to the non-final tiers; the final
+#: tier always receives whatever remains
+DEFAULT_RUNG_FRACTIONS = {"cheap": 0.10, "medium": 0.30}
+
+#: floor (seconds) under which a rung budget is not worth a process launch
+MIN_RUNG_BUDGET = 0.5
+
+
+def learn_priors(paths: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Learn engine priors from past ``BENCH_*.json`` reports.
+
+    Scans benchmark reports (portfolio singles, certification sweeps,
+    incremental verdict sweeps, serve sweeps) for per-engine run outcomes
+    and aggregates them into ``{engine: {runs, definitive_rate,
+    mean_runtime_s, score}}``.  ``score`` orders engines within a ladder
+    rung — lower is better: historically fast engines that actually reach
+    verdicts launch first.  Missing or unreadable reports contribute
+    nothing; with no data the returned dict is empty and the ladder keeps
+    registration order.
+    """
+    import glob as glob_module
+    import json
+
+    if paths is None:
+        paths = sorted(glob_module.glob("BENCH_*.json"))
+    samples: Dict[str, List[Tuple[float, bool]]] = {}
+
+    from repro.engines.registry import ENGINE_REGISTRY
+
+    def record(engine: str, runtime: object, status: object) -> None:
+        if not isinstance(runtime, (int, float)):
+            return
+        engine = str(engine).split("[", 1)[0]
+        # canonicalize through the registry: batch sweeps record the engine
+        # *class* name ("abstract-interpretation"), ladder configs look
+        # priors up by registry name ("absint") — both must hit one bucket
+        registration = ENGINE_REGISTRY.get(engine)
+        if registration is not None:
+            engine = registration.name
+        samples.setdefault(engine, []).append(
+            (float(runtime), status in Status.DEFINITIVE)
+        )
+
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(report, dict):
+            continue
+        for row in report.get("portfolio", []) or []:
+            for label, single in (row.get("singles") or {}).items():
+                record(label, single.get("runtime_s"), single.get("status"))
+        for row in report.get("certification", []) or []:
+            for engine, outcome in (row.get("engines") or {}).items():
+                record(engine, outcome.get("runtime_s"), outcome.get("status"))
+        for row in report.get("verdict_sweep", []) or []:
+            for engine, outcome in (row.get("engines") or {}).items():
+                session = outcome.get("session") or {}
+                record(engine, session.get("runtime_s"), session.get("status"))
+        sweeps = report.get("sweeps") or {}
+        for sweep in sweeps.values():
+            for item in (sweep or {}).get("items", []) or []:
+                engine = str(item.get("source", ""))
+                if engine.startswith("cache"):
+                    continue
+                record(engine, item.get("runtime_s"), item.get("status"))
+
+    priors: Dict[str, Dict[str, float]] = {}
+    for engine, runs in samples.items():
+        total = sum(runtime for runtime, _ in runs)
+        definitive = sum(1 for _, ok in runs if ok)
+        rate = definitive / len(runs)
+        mean = total / len(runs)
+        priors[engine] = {
+            "runs": len(runs),
+            "definitive_rate": round(rate, 4),
+            "mean_runtime_s": round(mean, 6),
+            # fast deciders first; an engine that rarely decides is heavily
+            # discounted but never excluded (the rung still runs it)
+            "score": round(mean / max(rate, 0.05), 6),
+        }
+    return priors
+
+
+def default_budget_ladder(
+    representations: Sequence[str] = ("word",),
+    bound: Optional[int] = None,
+    timeout: Optional[float] = None,
+    priors: Optional[Dict[str, Dict[str, float]]] = None,
+) -> List[LadderRung]:
+    """Build the default budget ladder from the engines' declared cost tiers.
+
+    Ladder-flagged engines are grouped by
+    :attr:`repro.engines.base.EngineCapabilities.cost` — cheap refuters
+    (BMC, abstract interpretation) first at a small slice of the budget,
+    the k-induction-family provers next, the fixpoint provers last with
+    everything that remains.  ``priors`` (see :func:`learn_priors`) order
+    the configurations within each rung by historical score; empty tiers
+    are skipped.
+    """
+    from repro.engines.base import EngineCapabilities
+
+    tiers: Dict[str, List[PortfolioConfig]] = {
+        tier: [] for tier in EngineCapabilities.COST_TIERS
+    }
+    order: Dict[str, int] = {}
+    for representation in representations:
+        for registration in list_engines(ladder_only=True):
+            if representation not in registration.capabilities.representations:
+                continue
+            options: Dict[str, object] = {"representation": representation}
+            if bound is not None:
+                options.update(bound_options(bound))
+            config = PortfolioConfig.of(registration.name, **options)
+            tiers[registration.capabilities.cost].append(config)
+            order[config.label] = len(order)
+
+    def sort_key(config: PortfolioConfig) -> Tuple[float, int]:
+        prior = (priors or {}).get(config.engine)
+        score = prior["score"] if prior else float("inf")
+        return (score, order[config.label])
+
+    populated = [
+        (tier, configs) for tier, configs in tiers.items() if configs
+    ]
+    rungs: List[LadderRung] = []
+    for index, (tier, configs) in enumerate(populated):
+        final = index == len(populated) - 1
+        budget: Optional[float] = None
+        if not final and timeout is not None:
+            fraction = DEFAULT_RUNG_FRACTIONS.get(tier, 0.2)
+            budget = max(MIN_RUNG_BUDGET, timeout * fraction)
+        rungs.append(
+            LadderRung(tuple(sorted(configs, key=sort_key)), budget, tier)
+        )
+    return rungs
 
 
 # ---------------------------------------------------------------------------
@@ -312,6 +547,14 @@ class PortfolioRunner:
         copy-on-write, so N workers share one blast instead of re-blasting N
         times.  No-op under the ``spawn`` start method (workers warm their
         own caches there).
+    ladder:
+        Budget-ladder mode (mutually exclusive with ``configs`` and
+        ``cross_check``): a sequence of :class:`LadderRung` (see
+        :func:`default_budget_ladder`).  Instead of fanning every
+        configuration out at once, the rungs run in order — cheap refuters
+        at a small budget first, escalating to the provers only when a rung
+        ends without a definitive answer — with per-rung cancellation.
+        ``timeout`` still bounds the whole ladder.
     """
 
     #: extra wall-clock grace before force-terminating workers at the deadline
@@ -327,8 +570,27 @@ class PortfolioRunner:
         on_event: Optional[Callable[[Dict[str, object]], None]] = None,
         poll_interval: float = 0.05,
         warm_templates: bool = True,
+        ladder: Optional[Sequence[LadderRung]] = None,
     ) -> None:
-        self.configs = list(configs) if configs is not None else default_portfolio_configs()
+        self.ladder = list(ladder) if ladder is not None else None
+        if self.ladder is not None:
+            if cross_check:
+                raise ValueError(
+                    "budget-ladder scheduling cancels rung by rung and is "
+                    "incompatible with cross_check (which needs every worker "
+                    "to finish)"
+                )
+            if configs is not None:
+                raise ValueError("pass either configs or ladder, not both")
+            if not self.ladder or not any(rung.configs for rung in self.ladder):
+                raise ValueError("ladder needs at least one configuration")
+            self.configs = [
+                config for rung in self.ladder for config in rung.configs
+            ]
+        else:
+            self.configs = (
+                list(configs) if configs is not None else default_portfolio_configs()
+            )
         if not self.configs:
             raise ValueError("portfolio needs at least one configuration")
         self.timeout = timeout
@@ -349,31 +611,17 @@ class PortfolioRunner:
 
         Every representation the configuration fan-out uses is warmed, so the
         forked workers find their ``(system, representation)`` template
-        library already built in inherited (copy-on-write) memory.  Failures
-        are ignored — a worker that cannot build templates reports its own
-        error through the normal result channel.
+        library already built in inherited (copy-on-write) memory.
         """
         if not self.warm_templates or self._context.get_start_method() != "fork":
             return
-        if task.kind not in ("benchmark", "system"):
-            # the template cache is keyed by system instance; only these task
-            # kinds resolve to the same instance in parent and workers
-            # (benchmarks via the memoized loader, systems by identity)
-            return
-        try:
-            from repro.engines.encoding import template_library
-
-            system = task.load()
-            representations = {
+        warm_task_templates(
+            task,
+            {
                 str(config.options_dict.get("representation", "word"))
                 for config in self.configs
-            }
-            for representation in sorted(representations):
-                library = template_library(system, representation)
-                for prop in library.flat.properties:
-                    library.property_template(prop.name)
-        except Exception:  # noqa: BLE001 - warm-up is best effort
-            pass
+            },
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -381,7 +629,9 @@ class PortfolioRunner:
         task: VerificationTask,
         property_name: Optional[str] = None,
     ) -> PortfolioResult:
-        """Run the portfolio on ``task`` and aggregate the outcome."""
+        """Run the portfolio (all-at-once or ladder) on ``task``."""
+        if self.ladder is not None:
+            return self._run_ladder(task, property_name)
         start = time.monotonic()
         self._prewarm(task)
         deadline = start + self.timeout if self.timeout is not None else None
@@ -510,6 +760,136 @@ class PortfolioRunner:
         return self._aggregate(task, property_name, outcomes, winner_index, start)
 
     # ------------------------------------------------------------------
+    def _run_ladder(
+        self,
+        task: VerificationTask,
+        property_name: Optional[str],
+    ) -> PortfolioResult:
+        """Escalate through the budget ladder instead of fanning out at once.
+
+        Each rung is raced as its own mini-portfolio (first definitive
+        answer cancels the rung's losers); the ladder stops at the first
+        rung that produces a definitive (or expected-contradicting WRONG)
+        answer and only then escalates to the next, more expensive tier.
+        The aggregated result carries every rung's workers plus a
+        ``detail["ladder"]`` record with per-rung wall/CPU accounting —
+        on tasks a cheap rung decides, total CPU is a fraction of the
+        all-at-once fan-out's.
+        """
+        assert self.ladder is not None
+        start = time.monotonic()
+        self._prewarm(task)
+        deadline = start + self.timeout if self.timeout is not None else None
+
+        all_workers: List[WorkerOutcome] = []
+        rung_rows: List[Dict[str, object]] = []
+        decided_rung: Optional[int] = None
+        final: Optional[PortfolioResult] = None
+        for index, rung in enumerate(self.ladder):
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if remaining is not None and remaining <= 0:
+                break
+            budget = rung.budget
+            if budget is None:
+                budget = remaining
+            elif remaining is not None:
+                budget = min(budget, remaining)
+            child = PortfolioRunner(
+                configs=rung.configs,
+                timeout=budget,
+                max_workers=self.max_workers,
+                expected=self.expected,
+                on_event=self._rung_event(index, rung),
+                poll_interval=self.poll_interval,
+                warm_templates=False,  # warmed once above
+            )
+            rung_start = time.monotonic()
+            result = child.run(task, property_name)
+            rung_wall = time.monotonic() - rung_start
+            rung_cpu = sum(outcome.runtime for outcome in result.workers)
+            all_workers.extend(result.workers)
+            rung_rows.append(
+                {
+                    "rung": index,
+                    "tier": rung.tier,
+                    "configs": list(rung.labels),
+                    "budget_s": None if budget is None else round(budget, 6),
+                    "wall_s": round(rung_wall, 6),
+                    "cpu_s": round(rung_cpu, 6),
+                    "status": result.status,
+                    "winner": result.winner,
+                }
+            )
+            if result.is_definitive or result.status == Status.WRONG:
+                decided_rung = index
+                final = result
+                break
+
+        runtime = time.monotonic() - start
+        cpu_s = sum(outcome.runtime for outcome in all_workers)
+        ladder_detail: Dict[str, object] = {
+            "rungs": rung_rows,
+            "decided_rung": decided_rung,
+            "schedule": [list(rung.labels) for rung in self.ladder],
+        }
+        if final is not None:
+            detail = dict(final.detail)
+            detail["ladder"] = ladder_detail
+            detail["cpu_s"] = round(cpu_s, 6)
+            return PortfolioResult(
+                final.status,
+                final.property_name,
+                runtime,
+                winner=final.winner,
+                winner_engine=final.winner_engine,
+                counterexample=final.counterexample,
+                workers=all_workers,
+                detail=detail,
+                reason=final.reason
+                or f"decided at ladder rung {decided_rung}",
+                certificate=final.certificate,
+            )
+
+        # no rung reached a definitive answer: summarize like the fan-out
+        finished = [outcome for outcome in all_workers if outcome.result is not None]
+        statuses = [outcome.result.status for outcome in finished]
+        if any(status == Status.UNKNOWN for status in statuses):
+            status = Status.UNKNOWN
+        elif statuses and all(status == Status.ERROR for status in statuses):
+            status = Status.ERROR
+        else:
+            status = Status.TIMEOUT
+        return PortfolioResult(
+            status,
+            self._property_name(property_name, finished),
+            runtime,
+            workers=all_workers,
+            detail={
+                "task": task.name,
+                "configs": [outcome.label for outcome in all_workers],
+                "worker_statuses": {
+                    outcome.label: outcome.status for outcome in all_workers
+                },
+                "ladder": ladder_detail,
+                "cpu_s": round(cpu_s, 6),
+            },
+            reason="no ladder rung reached a definitive answer",
+        )
+
+    def _rung_event(
+        self, index: int, rung: LadderRung
+    ) -> Optional[Callable[[Dict[str, object]], None]]:
+        if self.on_event is None:
+            return None
+
+        def forward(event: Dict[str, object]) -> None:
+            self.on_event({**event, "rung": index, "tier": rung.tier})
+
+        return forward
+
+    # ------------------------------------------------------------------
     def _aggregate(
         self,
         task: VerificationTask,
@@ -524,6 +904,9 @@ class PortfolioRunner:
             "configs": [outcome.label for outcome in outcomes],
             "worker_statuses": {outcome.label: outcome.status for outcome in outcomes},
             "cross_check": self.cross_check,
+            # total worker wall-clock: the CPU the fan-out spent (workers are
+            # CPU-bound), compared against ladder CPU by the serve bench
+            "cpu_s": round(sum(outcome.runtime for outcome in outcomes), 6),
         }
 
         definitive = [

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.certs import InductiveCertificate, witness_from_counterexample
 from repro.engines.base import Engine, EngineCapabilities
-from repro.engines.encoding import FrameEncoder
+from repro.engines.encoding import FrameEncoder, flattened_cached
 from repro.engines.result import Budget, Counterexample, Status, VerificationResult
 from repro.exprs import (
     Expr,
@@ -65,7 +65,7 @@ class PredicateAbstractionEngine(Engine):
         persistent_session: bool = True,
     ) -> None:
         super().__init__(system)
-        self.flat = system.flattened()
+        self.flat = flattened_cached(system)
         self.max_abstract_states = max_abstract_states
         self.max_refinements = max_refinements
         self.max_predicates = max_predicates

@@ -12,7 +12,7 @@ an opaque ``TypeError`` from deep inside a constructor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 from repro.engines.absint import AbstractInterpretationEngine
 from repro.engines.base import Engine, EngineCapabilities, EngineOptionError
@@ -42,6 +42,12 @@ class EngineRegistration:
     summary: str = ""
     #: included in the default process-parallel portfolio
     portfolio: bool = False
+    #: scheduled by the default budget ladder (None: same as ``portfolio``)
+    ladder: Optional[bool] = None
+
+    @property
+    def in_ladder(self) -> bool:
+        return self.portfolio if self.ladder is None else self.ladder
 
     @property
     def capabilities(self) -> EngineCapabilities:
@@ -105,6 +111,9 @@ _REGISTRATIONS: List[EngineRegistration] = [
         AbstractInterpretationEngine,
         aliases=("abstract-interpretation", "intervals"),
         summary="interval abstract interpretation (may raise false alarms)",
+        # not raced by the all-at-once portfolio (too incomplete to spend a
+        # process on), but a near-free first rung for the budget ladder
+        ladder=True,
     ),
     EngineRegistration(
         "oracle",
@@ -123,17 +132,21 @@ for _registration in _REGISTRATIONS:
         ENGINE_REGISTRY[_key] = _registration
 
 
-def list_engines(portfolio_only: bool = False) -> List[EngineRegistration]:
+def list_engines(
+    portfolio_only: bool = False, ladder_only: bool = False
+) -> List[EngineRegistration]:
     """Return the deduplicated registrations, in registration order.
 
     Each entry carries the canonical name and its aliases; with
     ``portfolio_only`` the list is restricted to the engines raced by the
-    default portfolio.
+    default portfolio, with ``ladder_only`` to the engines scheduled by the
+    default budget ladder.
     """
     return [
         registration
         for registration in _REGISTRATIONS
-        if not portfolio_only or registration.portfolio
+        if (not portfolio_only or registration.portfolio)
+        and (not ladder_only or registration.in_ladder)
     ]
 
 

@@ -36,7 +36,21 @@ three modes — **session** (one persistent solver, templates), **template**
 solver, per-frame re-blast) — kIkI is timed end to end in the same modes, and
 a verdict sweep runs the converted engines on all suite designs with
 ``persistent_session`` on and off.  ``BENCH_incremental.json`` records the
-speedups; the run fails on any session-vs-legacy verdict mismatch.
+speedups; the run fails on any session-vs-legacy verdict mismatch.  By
+default the per-bound rows are aggregated into compact per-design summaries;
+``--full`` keeps the raw per-bound data (``--summary`` spells the default
+explicitly).
+
+``--serve`` measures the query-serving hot path: the whole suite is swept
+twice through the :class:`repro.engines.batch.BatchRunner` against one
+certificate cache — the cold pass runs the sequential budget ladder per item
+and fills the cache, the warm pass must be answered entirely by re-validated
+cache hits — then the budget-ladder scheduler is raced against the
+all-at-once fan-out (wall and total worker CPU), and SAFE certificates are
+minimized with before/after validation timings.  ``BENCH_serve.json`` gates
+on: 100 % cold/warm verdict agreement, an all-hit warm sweep at >= 3x the
+cold wall clock, ladder CPU <= fan-out CPU wherever a cheap rung decides,
+and minimized certificates validating no slower than their originals.
 """
 
 from __future__ import annotations
@@ -46,7 +60,7 @@ import json
 import os
 import platform
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.benchmarks import benchmark_names, get_benchmark
 from repro.certs import validate_result
@@ -936,6 +950,324 @@ def write_certify_report(
     return all_validated
 
 
+# ---------------------------------------------------------------------------
+# serve mode (--serve): cache sweeps, ladder vs fan-out, minimization
+# ---------------------------------------------------------------------------
+
+#: designs raced ladder-vs-fanout (a mix where different rungs decide:
+#: BMC refutes daio/tlc in the cheap rung, absint proves huffman_dec there,
+#: buffalloc needs the k-induction-family rung)
+DEFAULT_LADDER_BENCHMARKS = ["daio", "tlc", "huffman_dec", "buffalloc"]
+
+#: (design, engine) pairs whose SAFE certificates carry droppable conjuncts
+#: (kIkI's strengthening invariants usually all drop once k is found, PDR's
+#: frame clauses sometimes do); the minimization subsection shrinks them and
+#: times validation before/after
+DEFAULT_MINIMIZE_CASES = [
+    ("huffman_dec", "kiki"),
+    ("rcu", "kiki"),
+    ("arbiter", "kiki"),
+    ("proc3", "pdr"),
+]
+
+
+def run_serve_sweeps(
+    names: List[str],
+    bound: int,
+    timeout: float,
+    jobs: Optional[int],
+    cache_dir: str,
+) -> Dict[str, object]:
+    """Sweep the suite twice against one cache: cold fills, warm must hit."""
+    from repro.cache import ResultCache
+    from repro.engines.batch import BatchItem, BatchRunner
+
+    items = [BatchItem.benchmark(name) for name in names]
+    sweeps: Dict[str, Dict[str, object]] = {}
+    for label in ("cold", "warm"):
+        cache = ResultCache(cache_dir, validation_timeout=timeout)
+        runner = BatchRunner(
+            cache=cache, jobs=jobs, timeout=timeout, bound=bound
+        )
+        report = runner.run(items)
+        sweeps[label] = {**report.to_json(), "cache_stats": cache.stats()}
+        print(
+            f"serve {label:5s} {len(report.items)} items in {report.wall_s:.3f}s: "
+            f"{report.cache_hits} hits / {report.cache_misses} misses, "
+            f"verdicts {'OK' if report.all_correct else 'WRONG'}"
+        )
+
+    cold, warm = sweeps["cold"], sweeps["warm"]
+    cold_verdicts = {
+        (row["design"], row["property"]): row["status"] for row in cold["items"]
+    }
+    warm_verdicts = {
+        (row["design"], row["property"]): row["status"] for row in warm["items"]
+    }
+    verdicts_agree = cold_verdicts == warm_verdicts
+    warm_all_hits = all(row["source"] == "cache" for row in warm["items"])
+    hits_revalidated = all(row["validated"] for row in warm["items"])
+    speedup = cold["wall_s"] / max(1e-9, warm["wall_s"])
+    summary = {
+        "items": len(cold["items"]),
+        "cold_wall_s": cold["wall_s"],
+        "warm_wall_s": warm["wall_s"],
+        "warm_speedup": round(speedup, 2),
+        "verdicts_agree": verdicts_agree,
+        "warm_all_hits": warm_all_hits,
+        "all_hits_revalidated": hits_revalidated,
+        "all_verdicts_correct": bool(
+            cold["all_correct"] and warm["all_correct"]
+        ),
+    }
+    print(
+        f"serve sweep: warm {summary['warm_speedup']}x faster, "
+        f"all hits {'OK' if warm_all_hits else 'FAIL'}, "
+        f"agreement {'OK' if verdicts_agree else 'FAIL'}"
+    )
+    return {"sweeps": sweeps, "summary": summary}
+
+
+def run_ladder_section(
+    names: List[str], bound: int, timeout: float, jobs: Optional[int]
+) -> List[Dict]:
+    """Race the budget ladder against the all-at-once fan-out per design."""
+    from repro.engines.portfolio import default_budget_ladder, learn_priors
+
+    priors = learn_priors()
+    rows = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        task = VerificationTask.benchmark(name)
+        fanout = PortfolioRunner(
+            configs=default_portfolio_configs(bound=bound),
+            timeout=timeout,
+            max_workers=jobs,
+            expected=benchmark.expected,
+        ).run(task)
+        ladder = PortfolioRunner(
+            ladder=default_budget_ladder(
+                bound=bound, timeout=timeout, priors=priors
+            ),
+            timeout=timeout,
+            max_workers=jobs,
+            expected=benchmark.expected,
+        ).run(task)
+        ladder_detail = ladder.detail.get("ladder", {})
+        decided_rung = ladder_detail.get("decided_rung")
+        rung_rows = ladder_detail.get("rungs", [])
+        decided_tier = (
+            rung_rows[decided_rung]["tier"]
+            if decided_rung is not None and decided_rung < len(rung_rows)
+            else None
+        )
+        # the CPU gate only applies where the *cheap* tier decided: a design
+        # escalated to the provers pays the cheap rung's probe as overhead
+        cheap_decided = decided_tier == "cheap"
+        row = {
+            "benchmark": name,
+            "expected": benchmark.expected,
+            "fanout": {
+                "status": fanout.status,
+                "winner": fanout.winner,
+                "wall_s": round(fanout.runtime, 6),
+                "cpu_s": fanout.detail.get("cpu_s"),
+            },
+            "ladder": {
+                "status": ladder.status,
+                "winner": ladder.winner,
+                "wall_s": round(ladder.runtime, 6),
+                "cpu_s": ladder.detail.get("cpu_s"),
+                "decided_rung": decided_rung,
+                "decided_tier": decided_tier,
+                "rungs": rung_rows,
+            },
+            "verdicts_match": fanout.status == ladder.status,
+            "cheap_rung_decided": cheap_decided,
+            "ladder_cpu_within_fanout": (
+                ladder.detail.get("cpu_s", 0.0)
+                <= fanout.detail.get("cpu_s", 0.0)
+            ),
+        }
+        rows.append(row)
+        print(
+            f"ldr  {name:12s} ladder={row['ladder']['wall_s']:.3f}s/"
+            f"cpu {row['ladder']['cpu_s']}s rung={decided_rung} "
+            f"fanout={row['fanout']['wall_s']:.3f}s/cpu {row['fanout']['cpu_s']}s "
+            f"{'OK' if row['verdicts_match'] else 'MISMATCH'}"
+        )
+    return rows
+
+
+def run_minimization_section(
+    cases: List[Tuple[str, str]], timeout: float, repeats: int = 3
+) -> List[Dict]:
+    """Shrink SAFE certificates and time validation before/after.
+
+    Validation is timed as the fastest of ``repeats`` passes — a single
+    validator run is a few milliseconds, so one-shot timings are noise.
+    """
+    from repro.cache import minimize_certificate
+    from repro.certs import validate_certificate
+
+    def timed_validation(system, certificate):
+        best = float("inf")
+        validation = None
+        for _ in range(max(1, repeats)):
+            t0 = time.monotonic()
+            validation = validate_certificate(system, certificate)
+            best = min(best, time.monotonic() - t0)
+        return validation, best
+
+    rows = []
+    for name, engine_name in cases:
+        benchmark = get_benchmark(name)
+        system = benchmark.load()
+        result = make_engine(engine_name, system).verify(timeout=timeout)
+        if result.status != Status.SAFE or result.certificate is None:
+            rows.append(
+                {"benchmark": name, "engine": engine_name, "status": result.status}
+            )
+            continue
+        original_validation, validate_original_s = timed_validation(
+            system, result.certificate
+        )
+        minimization = minimize_certificate(system, result.certificate)
+        minimized_validation, validate_minimized_s = timed_validation(
+            system, minimization.certificate
+        )
+        row = {
+            "benchmark": name,
+            "engine": engine_name,
+            "status": result.status,
+            "certificate_kind": getattr(result.certificate, "kind", None),
+            "original_conjuncts": minimization.original_size,
+            "minimized_conjuncts": minimization.size,
+            "minimize_checks": minimization.checks,
+            "validate_original_s": round(validate_original_s, 6),
+            "validate_minimized_s": round(validate_minimized_s, 6),
+            "both_validate": bool(
+                original_validation.ok and minimized_validation.ok
+            ),
+            "validation_speedup": round(
+                validate_original_s / max(1e-9, validate_minimized_s), 2
+            ),
+        }
+        rows.append(row)
+        print(
+            f"min  {name:12s} {engine_name:5s} {minimization.original_size} -> "
+            f"{minimization.size} conjuncts, validate "
+            f"{validate_original_s * 1e3:.1f}ms -> {validate_minimized_s * 1e3:.1f}ms "
+            f"{'OK' if row['both_validate'] else 'FAIL'}"
+        )
+    return rows
+
+
+def write_serve_report(
+    sweep_data: Dict[str, object],
+    ladder_rows: List[Dict],
+    minimize_rows: List[Dict],
+    out: str,
+    bound: int,
+    timeout: float,
+) -> bool:
+    """Write ``BENCH_serve.json``; True when every serving target is met."""
+    sweep_summary = dict(sweep_data["summary"])
+    cheap_rows = [row for row in ladder_rows if row.get("cheap_rung_decided")]
+    ladder_ok = all(
+        row["ladder_cpu_within_fanout"] for row in cheap_rows
+    ) and all(row["verdicts_match"] for row in ladder_rows)
+    minimized = [
+        row
+        for row in minimize_rows
+        if row.get("minimized_conjuncts") is not None
+        and row["minimized_conjuncts"] < row["original_conjuncts"]
+    ]
+    minimize_ok = all(row["both_validate"] for row in minimized) and (
+        not minimized
+        or sum(row["validate_minimized_s"] for row in minimized)
+        <= sum(row["validate_original_s"] for row in minimized)
+    )
+    ok = bool(
+        sweep_summary["verdicts_agree"]
+        and sweep_summary["warm_all_hits"]
+        and sweep_summary["all_hits_revalidated"]
+        and sweep_summary["all_verdicts_correct"]
+        and sweep_summary["warm_speedup"] >= 3.0
+        and ladder_ok
+        and minimize_ok
+    )
+    report = {
+        "meta": {
+            "tool": "repro.tools.bench --serve",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "bound": bound,
+            "timeout_s": timeout,
+        },
+        "sweeps": sweep_data["sweeps"],
+        "ladder_vs_fanout": ladder_rows,
+        "minimization": minimize_rows,
+        "summary": {
+            **sweep_summary,
+            "ladder_designs": len(ladder_rows),
+            "cheap_rung_decided": len(cheap_rows),
+            "ladder_cpu_within_fanout_on_cheap_decides": ladder_ok,
+            "certificates_minimized": len(minimized),
+            "minimized_validate_faster": minimize_ok,
+            "serving_targets_met": ok,
+        },
+    }
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nwrote {out}: warm sweep {sweep_summary['warm_speedup']}x "
+        f"({'all hits' if sweep_summary['warm_all_hits'] else 'MISSES'}), "
+        f"ladder CPU {'OK' if ladder_ok else 'FAIL'} on "
+        f"{len(cheap_rows)} cheap-decided design(s), "
+        f"minimization {'OK' if minimize_ok else 'FAIL'} "
+        f"({len(minimized)} certificate(s) shrunk) -> "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    return ok
+
+
+def compact_incremental_rows(rows: List[Dict]) -> List[Dict]:
+    """Aggregate per-bound profiles into one row per (design, mode).
+
+    The full per-bound data of ``BENCH_incremental.json`` runs to thousands
+    of lines; the summary keeps, per mode, the bound count, total wall
+    clock and the summed headline solver counters (``--full`` restores the
+    raw rows).
+    """
+    compact = []
+    for row in rows:
+        new_row = dict(row)
+        modes = {}
+        for mode, profile in row.get("modes", {}).items():
+            new_profile = dict(profile)
+            per_bound = new_profile.pop("per_bound", None)
+            if per_bound:
+                totals: Dict[str, int] = {}
+                for entry in per_bound:
+                    for key in ("conflicts", "propagations", "decisions"):
+                        totals[key] = totals.get(key, 0) + entry["stats"].get(key, 0)
+                new_profile["per_bound_summary"] = {
+                    "bounds": len(per_bound),
+                    "wall_s": round(
+                        sum(entry["wall_s"] for entry in per_bound), 6
+                    ),
+                    **totals,
+                }
+            modes[mode] = new_profile
+        if modes:
+            new_row["modes"] = modes
+        compact.append(new_row)
+    return compact
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -968,8 +1300,30 @@ def main(argv: Optional[List[str]] = None) -> int:
              "plus a session-vs-legacy verdict sweep over the whole suite",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="serving mode: cold/warm cache sweeps over the suite through the "
+             "batch runner, budget-ladder vs all-at-once fan-out races, and "
+             "SAFE-certificate minimization timings",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help="portfolio worker-process cap (default: one per configuration)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="--serve: certificate cache directory (default: a fresh "
+             "temporary directory, so the first sweep is genuinely cold)",
+    )
+    summary_group = parser.add_mutually_exclusive_group()
+    summary_group.add_argument(
+        "--summary", action="store_true",
+        help="--incremental: aggregate per-bound rows into one compact row "
+             "per (design, mode) — this is the default",
+    )
+    summary_group.add_argument(
+        "--full", action="store_true",
+        help="--incremental: keep the raw per-bound rows instead of the "
+             "compact per-design aggregates",
     )
     parser.add_argument(
         "--representation", default="word", choices=["word", "bit"],
@@ -1000,8 +1354,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if sum(map(bool, (args.portfolio, args.certify, args.incremental))) > 1:
-        parser.error("--portfolio, --certify and --incremental are mutually exclusive")
+    if sum(map(bool, (args.portfolio, args.certify, args.incremental, args.serve))) > 1:
+        parser.error(
+            "--portfolio, --certify, --incremental and --serve are mutually exclusive"
+        )
+
+    if args.serve:
+        bound = args.depth if args.depth is not None else 80
+        names = args.benchmarks if args.benchmarks else benchmark_names()
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        if args.cache_dir is not None:
+            cache_dir = args.cache_dir
+        else:
+            import tempfile
+
+            cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
+        sweep_data = run_serve_sweeps(
+            names, bound, args.timeout, args.jobs, cache_dir
+        )
+        ladder_names = [
+            n for n in DEFAULT_LADDER_BENCHMARKS if n in names
+        ] or names[:4]
+        ladder_rows = run_ladder_section(
+            ladder_names, bound, args.timeout, args.jobs
+        )
+        minimize_cases = [
+            (n, engine) for n, engine in DEFAULT_MINIMIZE_CASES if n in names
+        ] or [(n, "pdr") for n in names[:4]]
+        minimize_rows = run_minimization_section(minimize_cases, args.timeout)
+        out = args.out or "BENCH_serve.json"
+        return (
+            0
+            if write_serve_report(
+                sweep_data, ladder_rows, minimize_rows, out, bound, args.timeout
+            )
+            else 1
+        )
 
     if args.incremental:
         depth = args.depth if args.depth is not None else 32
@@ -1013,6 +1403,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         kiki_rows = run_incremental_kiki_section(names, depth, args.timeout)
         bmc_rows = run_incremental_bmc_section(names, depth, args.timeout)
         sweep_rows = run_incremental_sweep(min(depth, 8), args.timeout)
+        if not args.full:
+            kind_rows = compact_incremental_rows(kind_rows)
+            kiki_rows = compact_incremental_rows(kiki_rows)
+            bmc_rows = compact_incremental_rows(bmc_rows)
         out = args.out or "BENCH_incremental.json"
         return (
             0

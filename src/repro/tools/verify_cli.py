@@ -1,16 +1,31 @@
 """The ``repro-verify`` command-line front end.
 
-One entry point over the whole engine zoo: point it at a suite design (by
-name) or at a Verilog/AIGER file, pick a single engine (``--engine``) or the
-process-parallel portfolio (``--portfolio``), and read the verdict off a
-result table::
+One entry point over the whole engine zoo: point it at one or more suite
+designs (by name) or Verilog/AIGER files, pick a single engine
+(``--engine``), the process-parallel portfolio (``--portfolio``), the
+budget-ladder scheduler (``--ladder``) or the batch sweep (``--batch``),
+and read the verdicts off a result table::
 
     repro-verify daio --portfolio --timeout 60
+    repro-verify daio --ladder --timeout 60
     repro-verify designs/fifo.v --engine pdr --bound 32
     repro-verify counter.aag --engine k-induction
     repro-verify daio --certify --save-certificate daio.cert.json
+    repro-verify --batch --cache-dir .repro-cache --timeout 60
+    repro-verify daio tlc rcu --batch --cache-dir .repro-cache
     repro-verify --list-engines
     repro-verify --list-designs
+
+``--ladder`` replaces the all-at-once fan-out with the budget ladder: cheap
+refuters (BMC, abstract interpretation) race first at a small budget and the
+scheduler escalates to the provers only when a rung stays inconclusive, with
+per-rung cancellation; engine order within a rung follows priors learned
+from local ``BENCH_*.json`` reports.  ``--batch`` verifies many designs ×
+properties through one warm process pool (one worker per *property*),
+serving and filling the certificate-keyed result cache when ``--cache-dir``
+is given.  ``--cache-dir`` also works for single queries: a cached verdict
+is served after independent re-validation of its certificate, and new
+definitive verdicts are validated, minimized and stored.
 
 With ``--certify`` the final verdict's certificate (UNSAFE witness or SAFE
 invariant, see :mod:`repro.certs`) is validated by the independent checker
@@ -240,13 +255,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="verify a hardware design with one engine or the parallel portfolio",
     )
     parser.add_argument(
-        "target", nargs="?",
-        help="suite design name, or path to a Verilog (.v/.sv) or ASCII AIGER (.aag) file",
+        "target", nargs="*",
+        help="suite design name(s), or path(s) to Verilog (.v/.sv) or ASCII "
+             "AIGER (.aag) files; --batch accepts several (default: the "
+             "whole suite)",
     )
     parser.add_argument("--engine", help="run a single engine (see --list-engines)")
     parser.add_argument(
         "--portfolio", action="store_true",
         help="race the portfolio engines in parallel worker processes",
+    )
+    parser.add_argument(
+        "--ladder", action="store_true",
+        help="budget-ladder scheduling: cheap refuters first at a small "
+             "budget, escalating to provers rung by rung (instead of the "
+             "all-at-once fan-out)",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="verify several designs x properties through one warm process "
+             "pool (one worker per property), reusing shared template "
+             "libraries and the result cache across the whole batch",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="certificate-keyed result cache: serve repeated queries from "
+             "validated certificates (re-validated on every hit) and store "
+             "new definitive verdicts, minimized",
     )
     parser.add_argument("--property", dest="property_name", default=None,
                         help="property to check (default: the design's first)")
@@ -291,17 +326,83 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_designs:
         _print_design_table()
         return 0
+    modes = [
+        name
+        for name, chosen in (
+            ("--engine", bool(args.engine)),
+            ("--portfolio", args.portfolio),
+            ("--ladder", args.ladder),
+            ("--batch", args.batch),
+        )
+        if chosen
+    ]
+    if len(modes) > 1:
+        parser.error(f"{' and '.join(modes)} are mutually exclusive")
+    if args.cross_check and (args.ladder or args.batch):
+        # the ladder/batch schedulers stop at the first definitive answer;
+        # cross-check adjudication needs the all-at-once fan-out
+        parser.error("--cross-check requires the all-at-once --portfolio")
+    if args.batch and (args.certify or args.save_certificate):
+        parser.error(
+            "--certify/--save-certificate are per-query; --batch validates "
+            "through the result cache (--cache-dir) instead"
+        )
+
+    cache = None
+    if args.cache_dir:
+        from repro.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir, validation_timeout=args.timeout)
+
+    if args.batch:
+        return _run_batch(args, cache)
+
     if not args.target:
         parser.error("a target design is required (or --list-engines/--list-designs)")
-    if args.engine and args.portfolio:
-        parser.error("--engine and --portfolio are mutually exclusive")
-    if not args.engine and not args.portfolio:
+    if len(args.target) > 1:
+        parser.error("multiple targets need --batch")
+    if not modes:
         args.portfolio = True  # the portfolio is the default driver
 
-    task = _resolve_task(args.target)
+    task = _resolve_task(args.target[0])
     expected = args.expected
     if expected is None and task.kind == "benchmark":
         expected = get_benchmark(task.spec).expected
+
+    # one representation is the cache identity of the query: --representation
+    # wins, else the first portfolio representation — lookup and store must
+    # agree or repeated queries would never hit
+    representation = args.representation or args.representations[0]
+    if cache is not None:
+        try:
+            system = task.load()
+        except Exception as error:  # noqa: BLE001 - loader/parse failures
+            print(f"error: cannot load {task.name!r}: {error}", file=sys.stderr)
+            return 1
+        property_name = args.property_name or (
+            system.properties[0].name if system.properties else None
+        )
+        if property_name is not None:
+            lookup = cache.lookup(system, property_name, representation)
+            if lookup.hit:
+                result = lookup.result
+                result.status = _classify(result.status, expected)
+                print(
+                    f"cache hit for {task.name!r} (key {lookup.key[:12]}..., "
+                    f"certificate re-validated in {lookup.runtime_s:.3f}s)"
+                )
+                _print_single(result, verbose=args.verbose)
+                if args.certify:
+                    # --certify promises the per-obligation report and its
+                    # demotion semantics on every run, hit or miss
+                    result.status = _certify(
+                        task, result, result.status, args.timeout
+                    )
+                if args.save_certificate:
+                    _save_certificate(args.save_certificate, task, result)
+                return _EXIT_CODES.get(result.status, 1)
+            note = " (stale entry dropped)" if lookup.demoted else ""
+            print(f"cache miss for {task.name!r}{note}; verifying")
 
     if args.engine:
         try:
@@ -340,14 +441,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             result.status = _certify(task, result, result.status, args.timeout)
         if args.save_certificate:
             _save_certificate(args.save_certificate, task, result)
+        _store_in_cache(cache, task, result, representation)
         return _EXIT_CODES.get(result.status, 1)
 
     # --representation (the single-engine spelling) narrows the portfolio too
     representations = (
         [args.representation] if args.representation else args.representations
-    )
-    configs = default_portfolio_configs(
-        representations=representations, bound=args.bound
     )
 
     def on_event(event: Dict[str, object]) -> None:
@@ -355,29 +454,161 @@ def main(argv: Optional[List[str]] = None) -> int:
             return
         kind = event.pop("event")
         label = event.pop("label", "")
+        rung = event.pop("rung", None)
+        prefix = f"rung {rung} " if rung is not None else ""
         extras = ", ".join(f"{key}={value}" for key, value in event.items() if value)
-        print(f"  [{time.strftime('%H:%M:%S')}] {kind:9s} {label:24s} {extras}")
+        print(f"  [{time.strftime('%H:%M:%S')}] {prefix}{kind:9s} {label:24s} {extras}")
 
-    runner = PortfolioRunner(
-        configs=configs,
-        timeout=args.timeout,
-        max_workers=args.jobs,
-        cross_check=args.cross_check,
-        expected=expected,
-        on_event=on_event,
-    )
-    print(
-        f"racing {len(configs)} configurations on {task.name!r} "
-        f"(timeout {args.timeout:g}s{', cross-check' if args.cross_check else ''})"
-    )
+    if args.ladder:
+        from repro.engines import default_budget_ladder, learn_priors
+
+        ladder = default_budget_ladder(
+            representations=representations,
+            bound=args.bound,
+            timeout=args.timeout,
+            priors=learn_priors(),
+        )
+        runner = PortfolioRunner(
+            ladder=ladder,
+            timeout=args.timeout,
+            max_workers=args.jobs,
+            expected=expected,
+            on_event=on_event,
+        )
+        schedule = " -> ".join(
+            f"[{', '.join(rung.labels)}]" for rung in ladder
+        )
+        print(
+            f"budget ladder on {task.name!r} (timeout {args.timeout:g}s): {schedule}"
+        )
+    else:
+        configs = default_portfolio_configs(
+            representations=representations, bound=args.bound
+        )
+        runner = PortfolioRunner(
+            configs=configs,
+            timeout=args.timeout,
+            max_workers=args.jobs,
+            cross_check=args.cross_check,
+            expected=expected,
+            on_event=on_event,
+        )
+        print(
+            f"racing {len(configs)} configurations on {task.name!r} "
+            f"(timeout {args.timeout:g}s{', cross-check' if args.cross_check else ''})"
+        )
     result = runner.run(task, args.property_name)
     _print_portfolio(result, verbose=args.verbose)
+    if args.ladder:
+        ladder_detail = result.detail.get("ladder", {})
+        decided = ladder_detail.get("decided_rung")
+        cpu = result.detail.get("cpu_s")
+        print(
+            f"ladder: decided at rung {decided}, total worker CPU {cpu}s"
+            if decided is not None
+            else f"ladder: no rung decided, total worker CPU {cpu}s"
+        )
     final_status = result.status
     if args.certify:
         final_status = _certify(task, result, final_status, args.timeout)
     if args.save_certificate:
         _save_certificate(args.save_certificate, task, result)
+    _store_in_cache(cache, task, result, representation)
     return _EXIT_CODES.get(final_status, 1)
+
+
+def _store_in_cache(cache, task, result, representation: str) -> None:
+    """Offer a fresh definitive verdict to the result cache (if one is on)."""
+    if cache is None or result.status not in Status.DEFINITIVE:
+        return
+    try:
+        system = task.load()
+    except Exception:  # noqa: BLE001 - loader failures already reported
+        return
+    outcome = cache.store(
+        system, result.property_name, representation, result, design=task.name
+    )
+    if outcome.stored:
+        note = ""
+        if outcome.minimization is not None and outcome.minimization.dropped:
+            note = (
+                f" (invariant minimized {outcome.minimization.original_size}"
+                f" -> {outcome.minimization.size} conjuncts)"
+            )
+        print(f"cached under key {outcome.key[:12]}...{note}")
+    else:
+        print(f"not cached: {outcome.reason}")
+
+
+def _run_batch(args, cache) -> int:
+    """The ``--batch`` driver: a warm-pool sweep over many designs."""
+    from repro.engines import BatchItem, BatchRunner
+
+    targets = args.target or list(BENCHMARKS)
+    items = [
+        BatchItem(
+            _resolve_task(target),
+            property_name=args.property_name,
+            expected=args.expected,
+        )
+        for target in targets
+    ]
+    representation = args.representation or args.representations[0]
+
+    def on_event(event: Dict[str, object]) -> None:
+        if args.quiet:
+            return
+        kind = event.pop("event")
+        design = event.pop("design", "")
+        prop = event.pop("property", "")
+        extras = ", ".join(f"{key}={value}" for key, value in event.items() if value)
+        print(
+            f"  [{time.strftime('%H:%M:%S')}] {kind:9s} "
+            f"{design + ':' + prop:28s} {extras}"
+        )
+
+    runner = BatchRunner(
+        cache=cache,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        bound=args.bound,
+        representation=representation,
+        on_event=on_event,
+    )
+    print(
+        f"batch sweep over {len(items)} design(s) "
+        f"({'cache ' + args.cache_dir if cache else 'no cache'}, "
+        f"timeout {args.timeout:g}s per item)"
+    )
+    report = runner.run(items)
+    _print_header("design:property")
+    wrong = False
+    inconclusive = False
+    for item in report.items:
+        status = item.status
+        if item.correct is False:
+            status = Status.WRONG
+            wrong = True
+        if status not in Status.DEFINITIVE and status != Status.WRONG:
+            inconclusive = True
+        note = item.source
+        if item.rung is not None:
+            note += f" rung {item.rung}"
+        if item.minimization and item.minimization.get("minimized"):
+            note += (
+                f" minimized {item.minimization['original_size']}"
+                f"->{item.minimization['size']}"
+            )
+        print(_row(f"{item.design}:{item.property_name}", status, item.runtime_s, note))
+    print("-" * 64)
+    print(
+        f"{len(report.items)} items in {report.wall_s:.3f}s: "
+        f"{report.cache_hits} cache hit(s), {report.cache_misses} miss(es), "
+        f"{report.demotions} demotion(s), {report.workers} worker(s)"
+    )
+    if wrong:
+        return 2
+    return 0 if not inconclusive else 3
 
 
 if __name__ == "__main__":

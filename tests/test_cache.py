@@ -1,0 +1,523 @@
+"""The certificate-keyed result cache, its store, and the serving paths.
+
+The cache's safety contract is the subject here: a key must change whenever
+the query's semantics change (no stale hits), a stored entry is never
+trusted (every hit is re-validated, tampered entries are demoted to misses),
+and invariant minimization must hand back certificates that still pass the
+independent validator on every suite design.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks import BENCHMARKS, get_benchmark, load_system
+from repro.cache import ResultCache, cache_key, minimize_certificate
+from repro.cache.store import CacheEntry, CertificateStore
+from repro.certs import validate_certificate
+from repro.engines import (
+    BatchItem,
+    BatchRunner,
+    PortfolioRunner,
+    Status,
+    VerificationTask,
+    default_budget_ladder,
+    default_portfolio_configs,
+    learn_priors,
+    make_engine,
+)
+from repro.engines.batch import run_sequential_ladder
+from repro.exprs import TRUE, bv_const
+
+
+def _verify(design, engine="pdr", **options):
+    system = load_system(design)
+    result = make_engine(engine, system, **options).verify(timeout=90)
+    assert result.status in Status.DEFINITIVE
+    assert result.certificate is not None
+    return system, result
+
+
+# ---------------------------------------------------------------------------
+# keys: any semantic mutation of the query must miss
+# ---------------------------------------------------------------------------
+
+
+def test_key_is_deterministic_across_loads():
+    first = load_system("huffman_dec")
+    second = load_system("huffman_dec")
+    prop = first.properties[0].name
+    assert cache_key(first, prop) == cache_key(second, prop)
+
+
+def test_key_changes_with_property_and_representation():
+    system = load_system("mac16")
+    names = [prop.name for prop in system.properties]
+    assert len(names) >= 2  # the suite's multi-property design
+    assert cache_key(system, names[0]) != cache_key(system, names[1])
+    assert cache_key(system, names[0], "word") != cache_key(system, names[0], "bit")
+
+
+def test_key_changes_when_design_mutates():
+    base = load_system("huffman_dec")
+    prop = base.properties[0].name
+    reference = cache_key(base, prop)
+
+    mutated = load_system("huffman_dec")
+    name, expr = next(iter(mutated.next.items()))
+    mutated.set_next(name, expr + bv_const(1, expr.width))
+    assert cache_key(mutated, prop) != reference
+
+    reinit = load_system("huffman_dec")
+    name, expr = next(iter(reinit.init.items()))
+    reinit.set_init(name, expr + bv_const(1, expr.width))
+    assert cache_key(reinit, prop) != reference
+
+    constrained = load_system("huffman_dec")
+    constrained.add_constraint(TRUE)
+    assert cache_key(constrained, prop) != reference
+
+
+# ---------------------------------------------------------------------------
+# the cache proper: store, hit after re-validation, stale-miss
+# ---------------------------------------------------------------------------
+
+
+def test_safe_roundtrip_hits_after_revalidation(tmp_path):
+    system, result = _verify("huffman_dec")
+    cache = ResultCache(str(tmp_path))
+    outcome = cache.store(
+        system, result.property_name, "word", result, design="huffman_dec"
+    )
+    assert outcome.stored
+
+    lookup = cache.lookup(system, result.property_name, "word")
+    assert lookup.hit
+    assert lookup.result.status == Status.SAFE
+    assert lookup.validation is not None and lookup.validation.ok
+    assert lookup.result.detail["cache"]["design"] == "huffman_dec"
+    assert cache.stats()["hits"] == 1 and cache.stats()["entries"] == 1
+
+
+def test_unsafe_roundtrip_serves_witness(tmp_path):
+    system, result = _verify("daio", engine="bmc", max_bound=70)
+    cache = ResultCache(str(tmp_path))
+    assert cache.store(system, result.property_name, "word", result).stored
+    lookup = cache.lookup(system, result.property_name, "word")
+    assert lookup.hit
+    assert lookup.result.status == Status.UNSAFE
+    assert lookup.result.certificate.kind == "witness"
+
+
+def test_mutated_design_misses_no_stale_hit(tmp_path):
+    system, result = _verify("huffman_dec")
+    cache = ResultCache(str(tmp_path))
+    cache.store(system, result.property_name, "word", result)
+
+    mutated = load_system("huffman_dec")
+    name, expr = next(iter(mutated.next.items()))
+    mutated.set_next(name, expr + bv_const(1, expr.width))
+    lookup = cache.lookup(mutated, result.property_name, "word")
+    assert not lookup.hit
+    assert lookup.reason == "absent"  # different key: the entry is invisible
+
+
+def test_indefinitive_and_uncertified_results_are_not_stored(tmp_path):
+    from repro.engines.result import VerificationResult
+
+    system = load_system("huffman_dec")
+    prop = system.properties[0].name
+    cache = ResultCache(str(tmp_path))
+    unknown = VerificationResult(Status.UNKNOWN, "bmc", prop)
+    assert not cache.store(system, prop, "word", unknown).stored
+    bare = VerificationResult(Status.SAFE, "bmc", prop)
+    assert not cache.store(system, prop, "word", bare).stored
+    assert cache.stats()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# tampered / corrupted entries: demoted to misses, never served
+# ---------------------------------------------------------------------------
+
+
+def _stored_entry_path(cache, system, property_name):
+    key = cache.key_for(system, property_name, "word")
+    return key, cache.store_backend.path_for(key)
+
+
+def test_corrupted_entry_reads_as_absent(tmp_path):
+    system, result = _verify("huffman_dec")
+    cache = ResultCache(str(tmp_path))
+    cache.store(system, result.property_name, "word", result)
+    _, path = _stored_entry_path(cache, system, result.property_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    lookup = cache.lookup(system, result.property_name, "word")
+    assert not lookup.hit and lookup.reason == "absent"
+
+
+def test_flipped_status_cannot_justify_and_is_demoted(tmp_path):
+    system, result = _verify("huffman_dec")
+    cache = ResultCache(str(tmp_path))
+    cache.store(system, result.property_name, "word", result)
+    _, path = _stored_entry_path(cache, system, result.property_name)
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["status"] = Status.UNSAFE  # an invariant cannot prove UNSAFE
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    lookup = cache.lookup(system, result.property_name, "word")
+    assert not lookup.hit and lookup.demoted
+    assert not os.path.exists(path)  # the bad entry was dropped
+
+
+def test_forged_invariant_fails_revalidation_and_is_demoted(tmp_path):
+    """A syntactically fine but wrong certificate is caught by the validator."""
+    import dataclasses
+
+    system, result = _verify("huffman_dec")
+    cache = ResultCache(str(tmp_path))
+    key = cache.key_for(system, result.property_name, "word")
+    forged = dataclasses.replace(result.certificate, invariant=TRUE)
+    cache.store_backend.save(
+        CacheEntry(
+            key=key,
+            status=Status.SAFE,
+            property_name=result.property_name,
+            engine="oracle",
+            representation="word",
+            certificate=forged,
+        )
+    )
+    lookup = cache.lookup(system, result.property_name, "word")
+    assert not lookup.hit and lookup.demoted
+    assert "re-validation failed" in lookup.reason
+    assert cache.stats()["demotions"] == 1
+    # the demotion deleted the forgery: the next lookup is a plain miss
+    assert cache.lookup(system, result.property_name, "word").reason == "absent"
+
+
+def test_entry_under_wrong_key_does_not_impersonate(tmp_path):
+    system, result = _verify("huffman_dec")
+    cache = ResultCache(str(tmp_path))
+    cache.store(system, result.property_name, "word", result)
+    key, path = _stored_entry_path(cache, system, result.property_name)
+    other = cache.key_for(system, result.property_name, "bit")
+    other_path = cache.store_backend.path_for(other)
+    os.makedirs(os.path.dirname(other_path), exist_ok=True)
+    with open(path, "r", encoding="utf-8") as src, open(
+        other_path, "w", encoding="utf-8"
+    ) as dst:
+        dst.write(src.read())
+    assert cache.store_backend.load(other) is None  # key/file mismatch
+    assert not cache.lookup(system, result.property_name, "bit").hit
+
+
+# ---------------------------------------------------------------------------
+# minimization: smaller, still validated by the independent checker
+# ---------------------------------------------------------------------------
+
+
+SAFE_DESIGNS = [
+    name
+    for name, benchmark in sorted(BENCHMARKS.items())
+    if benchmark.expected == Status.SAFE
+]
+
+
+@pytest.mark.parametrize("design", SAFE_DESIGNS)
+def test_minimized_invariants_validate_on_every_safe_suite_design(design):
+    system = load_system(design)
+    ladder = default_budget_ladder(bound=40, timeout=60)
+    result = run_sequential_ladder(system, None, ladder, timeout=60)
+    assert result.status == Status.SAFE, (design, result.status)
+    minimization = minimize_certificate(system, result.certificate, timeout=60)
+    assert minimization.size <= minimization.original_size
+    validation = validate_certificate(system, minimization.certificate)
+    assert validation.ok, (design, validation.reason)
+
+
+def test_minimization_shrinks_a_padded_invariant():
+    """Redundant conjuncts injected into a real invariant are dropped."""
+    import dataclasses
+
+    from repro.exprs import bool_and
+
+    system, result = _verify("huffman_dec")
+    certificate = result.certificate
+    state = next(iter(system.state_vars))
+    width = system.state_vars[state]
+    # pad with tautological-but-droppable conjuncts over a real state var
+    from repro.exprs import bv_ule, bv_var
+
+    pad = bv_ule(bv_var(state, width), bv_const((1 << width) - 1, width))
+    padded = dataclasses.replace(
+        certificate, invariant=bool_and(certificate.invariant, pad, pad)
+    )
+    assert validate_certificate(system, padded).ok
+    minimization = minimize_certificate(system, padded)
+    assert minimization.dropped >= 1
+    assert validate_certificate(system, minimization.certificate).ok
+
+
+# ---------------------------------------------------------------------------
+# the batch runner: cold fills, warm is all re-validated hits
+# ---------------------------------------------------------------------------
+
+
+def test_batch_cold_then_warm_all_hits(tmp_path):
+    items = [
+        BatchItem.benchmark("daio"),
+        BatchItem.benchmark("huffman_dec"),
+        BatchItem.benchmark("mac16"),  # multi-property: sharded per property
+    ]
+    cache = ResultCache(str(tmp_path))
+    cold = BatchRunner(cache=cache, timeout=90, bound=80, jobs=2).run(items)
+    assert len(cold.items) == 4  # mac16 contributes two (design, property) units
+    assert cold.cache_hits == 0 and cold.cache_misses == 4
+    assert cold.all_definitive and cold.all_correct
+    assert all(item.stored for item in cold.items)
+
+    warm_cache = ResultCache(str(tmp_path))
+    warm = BatchRunner(cache=warm_cache, timeout=90, bound=80, jobs=2).run(items)
+    assert warm.cache_hits == 4 and warm.cache_misses == 0
+    assert all(item.source == "cache" and item.validated for item in warm.items)
+    assert warm.verdicts() == cold.verdicts()
+
+
+def test_batch_without_cache_still_sweeps():
+    report = BatchRunner(timeout=90, bound=80, jobs=2).run(
+        [BatchItem.benchmark("daio"), BatchItem.benchmark("huffman_dec")]
+    )
+    assert report.all_definitive and report.all_correct
+    assert report.cache_hits == 0 and report.cache_misses == 0
+
+
+# ---------------------------------------------------------------------------
+# the budget ladder: cheap rungs first, priors order within a rung
+# ---------------------------------------------------------------------------
+
+
+def test_default_ladder_orders_cost_tiers():
+    ladder = default_budget_ladder(bound=40, timeout=60)
+    assert [rung.tier for rung in ladder] == ["cheap", "medium", "heavy"]
+    cheap = {config.engine for config in ladder[0].configs}
+    assert cheap == {"bmc", "absint"}
+    # non-final rungs are budgeted, the last rung takes what remains
+    assert all(rung.budget is not None for rung in ladder[:-1])
+    assert ladder[-1].budget is None
+
+
+def test_priors_reorder_a_rung(tmp_path):
+    report = {
+        "portfolio": [
+            {
+                "singles": {
+                    "pdr[word]": {"runtime_s": 0.1, "status": "safe"},
+                    "interpolation[word]": {"runtime_s": 9.0, "status": "safe"},
+                }
+            }
+        ]
+    }
+    path = tmp_path / "BENCH_fake.json"
+    path.write_text(json.dumps(report))
+    priors = learn_priors([str(path)])
+    assert priors["pdr"]["score"] < priors["interpolation"]["score"]
+    ladder = default_budget_ladder(bound=40, timeout=60, priors=priors)
+    heavy = [config.engine for config in ladder[-1].configs]
+    assert heavy.index("pdr") < heavy.index("interpolation")
+
+
+def test_ladder_runner_decides_daio_in_cheap_rung():
+    runner = PortfolioRunner(
+        ladder=default_budget_ladder(bound=80, timeout=120),
+        timeout=120,
+        expected=Status.UNSAFE,
+    )
+    result = runner.run(VerificationTask.benchmark("daio"))
+    assert result.status == Status.UNSAFE
+    detail = result.detail["ladder"]
+    assert detail["decided_rung"] == 0
+    # the cheap rung never launched the provers: total CPU stays below what
+    # the all-at-once fan-out burns on its cancelled k-induction/pdr workers
+    fanout = PortfolioRunner(
+        configs=default_portfolio_configs(bound=80),
+        timeout=120,
+        expected=Status.UNSAFE,
+    ).run(VerificationTask.benchmark("daio"))
+    assert fanout.status == Status.UNSAFE
+    assert result.detail["cpu_s"] <= fanout.detail["cpu_s"]
+
+
+def test_sequential_ladder_reports_attempts():
+    system = load_system("daio")
+    result = run_sequential_ladder(
+        system, None, default_budget_ladder(bound=80, timeout=90), timeout=90
+    )
+    assert result.status == Status.UNSAFE
+    assert result.detail["ladder_rung"] == 0
+    assert result.detail["ladder_attempts"][0]["rung"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the CLI serving path: --cache-dir fills on miss, hits on repeat
+# ---------------------------------------------------------------------------
+
+
+def test_verify_cli_single_query_cache(tmp_path, capsys):
+    from repro.tools.verify_cli import main
+
+    cache_dir = str(tmp_path / "cache")
+    argv = ["daio", "--engine", "bmc", "--bound", "70", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "cache miss" in first and "cached under key" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "cache hit" in second and "re-validated" in second
+
+
+def test_verify_cli_portfolio_representations_cache_roundtrip(tmp_path, capsys):
+    """Lookup and store must key the same representation (--representations)."""
+    from repro.tools.verify_cli import main
+
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "daio", "--portfolio", "--representations", "word",
+        "--bound", "80", "--cache-dir", cache_dir, "--quiet",
+    ]
+    assert main(argv) == 0
+    assert "cached under key" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "cache hit" in capsys.readouterr().out
+
+
+def test_verify_cli_batch_respects_property_scope(tmp_path, capsys):
+    from repro.tools.verify_cli import main
+
+    argv = [
+        "mac16", "--batch", "--quiet", "--property", "cnt_in_range",
+        "--timeout", "90", "--bound", "80",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cnt_in_range" in out and "cnt_le_9" not in out
+    assert "1 items" in out
+
+
+def test_verify_cli_rejects_cross_check_with_ladder_or_batch(capsys):
+    from repro.tools.verify_cli import main
+
+    for mode in ("--ladder", "--batch"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["daio", mode, "--cross-check"])
+        assert excinfo.value.code == 2
+        assert "--cross-check" in capsys.readouterr().err
+
+
+def test_file_task_memo_invalidates_on_edit(tmp_path):
+    """A long-lived process must not serve a stale parse of an edited file."""
+    from repro.aig import aig_from_transition_system, write_aiger
+
+    path = tmp_path / "design.aag"
+    path.write_text(write_aiger(aig_from_transition_system(load_system("daio"))))
+    task = VerificationTask.aiger(str(path))
+    first = task.load()
+    assert task.load() is first  # memoized while the file is unchanged
+
+    path.write_text(
+        write_aiger(aig_from_transition_system(load_system("huffman_dec")))
+    )
+    os.utime(path, ns=(0, 0))  # force a stamp change even on coarse clocks
+    second = task.load()
+    assert second is not first
+    assert len(second.state_vars) != len(first.state_vars)
+
+
+def test_sequential_ladder_attributes_runtime_to_deciding_engine():
+    """Escalation probes must not inflate the deciding engine's runtime."""
+    system = load_system("buffalloc")  # cheap rung cannot decide this one
+    result = run_sequential_ladder(
+        system, None, default_budget_ladder(bound=40, timeout=60), timeout=60
+    )
+    assert result.status == Status.SAFE
+    assert result.detail["ladder_rung"] >= 1
+    probes = sum(
+        attempt["runtime_s"]
+        for attempt in result.detail["ladder_attempts"][:-1]
+    )
+    assert result.detail["ladder_wall_s"] >= result.runtime + probes * 0.5
+    assert result.runtime < result.detail["ladder_wall_s"]
+
+
+def test_batch_survives_unloadable_target(tmp_path):
+    """One bad file yields one ERROR item, not an aborted sweep."""
+    bad = BatchItem(VerificationTask.aiger(str(tmp_path / "missing.aag")))
+    report = BatchRunner(timeout=90, bound=80, jobs=2).run(
+        [bad, BatchItem.benchmark("daio")]
+    )
+    by_design = {item.design: item for item in report.items}
+    assert by_design["missing.aag"].status == Status.ERROR
+    assert by_design["daio"].status == Status.UNSAFE
+
+
+def test_learn_priors_canonicalizes_engine_aliases(tmp_path):
+    """Batch sweeps record class names; priors must land on registry names."""
+    report = {
+        "sweeps": {
+            "cold": {
+                "items": [
+                    {
+                        "source": "abstract-interpretation",
+                        "runtime_s": 0.01,
+                        "status": "safe",
+                    }
+                ]
+            }
+        }
+    }
+    path = tmp_path / "BENCH_fake.json"
+    path.write_text(json.dumps(report))
+    priors = learn_priors([str(path)])
+    assert "absint" in priors and "abstract-interpretation" not in priors
+
+
+def test_verify_cli_rejects_certify_with_batch(capsys):
+    from repro.tools.verify_cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["daio", "--batch", "--certify"])
+    assert excinfo.value.code == 2
+    assert "--certify" in capsys.readouterr().err
+
+
+def test_verify_cli_cache_hit_still_certifies(tmp_path, capsys):
+    from repro.tools.verify_cli import main
+
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "daio", "--engine", "bmc", "--bound", "70",
+        "--cache-dir", cache_dir, "--certify",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache hit" in out
+    assert "certification:" in out and "VALIDATED" in out
+
+
+def test_verify_cli_batch_twice_all_hits(tmp_path, capsys):
+    from repro.tools.verify_cli import main
+
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "daio", "huffman_dec", "--batch", "--quiet",
+        "--cache-dir", cache_dir, "--timeout", "90", "--bound", "80",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 cache hit(s), 0 miss(es)" in out
