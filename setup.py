@@ -15,6 +15,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-bench = repro.tools.bench:main",
+            "repro-cache = repro.tools.cache_cli:main",
             "repro-verify = repro.tools.verify_cli:main",
         ]
     },

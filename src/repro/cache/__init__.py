@@ -21,11 +21,17 @@ from repro.cache.result_cache import (
     CacheStoreOutcome,
     ResultCache,
 )
-from repro.cache.store import ENTRY_FORMAT, CacheEntry, CertificateStore
+from repro.cache.store import (
+    ENTRY_FORMAT,
+    QUARANTINE_DIR,
+    CacheEntry,
+    CertificateStore,
+)
 
 __all__ = [
     "KEY_FORMAT",
     "ENTRY_FORMAT",
+    "QUARANTINE_DIR",
     "cache_key",
     "system_to_canonical_json",
     "CacheEntry",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.cache.key import cache_key
 from repro.cache.minimize import MinimizationResult, minimize_certificate
@@ -85,8 +85,12 @@ class ResultCache:
         validation_timeout: Optional[float] = None,
         minimize: bool = True,
         minimize_max_checks: int = 64,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
-        self.store_backend = CertificateStore(root)
+        self.store_backend = CertificateStore(
+            root, max_entries=max_entries, max_bytes=max_bytes
+        )
         self.validation_timeout = validation_timeout
         self.minimize = minimize
         self.minimize_max_checks = minimize_max_checks
@@ -286,6 +290,74 @@ class ResultCache:
         )
 
     # ------------------------------------------------------------------
+    def fsck(
+        self,
+        resolve: Optional[Callable[[CacheEntry], Optional[TransitionSystem]]] = None,
+        prune: bool = True,
+    ) -> Dict[str, object]:
+        """Re-validate every store entry and heal what fails.
+
+        For each key: an undecodable document is quarantined (by the load
+        path), an entry whose certificate cannot justify its verdict or
+        fails independent re-validation against its design is pruned
+        (``prune=False`` only reports).  ``resolve`` maps an entry to its
+        :class:`~repro.netlist.TransitionSystem`; the default resolver
+        loads suite benchmarks by the recorded design name — entries whose
+        design it cannot resolve get the structural checks only and are
+        reported as ``unresolved``.
+        """
+        if resolve is None:
+            resolve = _resolve_benchmark_design
+
+        report: Dict[str, object] = {
+            "checked": 0,
+            "ok": 0,
+            "pruned": [],
+            "quarantined": [],
+            "unresolved": [],
+        }
+        for key in list(self.store_backend.keys()):
+            report["checked"] += 1
+            quarantined_before = self.store_backend.quarantined
+            entry = self.store_backend.load(key)
+            if entry is None:
+                if self.store_backend.quarantined > quarantined_before:
+                    report["quarantined"].append(key)
+                continue
+
+            def fail(reason: str) -> None:
+                if prune:
+                    self.store_backend.delete(key)
+                report["pruned"].append({"key": key, "reason": reason})
+
+            allowed = _KINDS_FOR_STATUS.get(entry.status)
+            kind = getattr(entry.certificate, "kind", None)
+            if allowed is None or kind not in allowed:
+                fail("certificate kind cannot justify the verdict")
+                continue
+            if getattr(entry.certificate, "property_name", None) != entry.property_name:
+                fail("certificate/property provenance mismatch")
+                continue
+            system = resolve(entry)
+            if system is None:
+                report["unresolved"].append(key)
+                report["ok"] += 1  # structurally sound; design not at hand
+                continue
+            validation = validate_certificate(
+                system, entry.certificate, timeout=self.validation_timeout
+            )
+            if not validation.ok:
+                fail(f"re-validation failed: {validation.reason}")
+                continue
+            report["ok"] += 1
+
+        report["entries"] = len(self.store_backend)
+        report["bytes"] = self.store_backend.total_bytes()
+        report["quarantine_backlog"] = len(self.store_backend.quarantine_keys())
+        report["clean"] = not report["pruned"] and not report["quarantined"]
+        return report
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
@@ -293,4 +365,18 @@ class ResultCache:
             "demotions": self.demotions,
             "stores": self.stores,
             "entries": len(self.store_backend),
+            "evictions": self.store_backend.evictions,
+            "quarantined": self.store_backend.quarantined,
         }
+
+
+def _resolve_benchmark_design(entry: CacheEntry) -> Optional[TransitionSystem]:
+    """Default fsck resolver: look the recorded design name up in the suite."""
+    if not entry.design:
+        return None
+    try:
+        from repro.benchmarks import load_system_cached
+
+        return load_system_cached(entry.design)
+    except Exception:  # noqa: BLE001 - unknown design name
+        return None

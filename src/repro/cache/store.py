@@ -8,6 +8,13 @@ entry is re-validated against the queried design by
 :class:`repro.cache.result_cache.ResultCache` before being served, so a
 corrupted, tampered or simply wrong entry costs a cache miss, never a wrong
 verdict.  Accordingly, any parse failure here degrades to "absent".
+
+Self-healing: an entry that no longer *decodes* (truncated write, bit rot,
+tampering) is moved into ``<root>/quarantine/`` instead of being read over
+and over — the store never crashes on garbage and keeps the evidence for
+``repro-cache fsck``.  Optional ``max_entries``/``max_bytes`` caps turn the
+store into an LRU: loads touch the entry file's mtime and :meth:`evict`
+drops the least-recently-used entries over the caps.
 """
 
 from __future__ import annotations
@@ -17,12 +24,16 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.certs import CertificateError, certificate_from_json, certificate_to_json
+from repro.faults import injection as _fault_injection
 
 #: format tag of a store entry document
 ENTRY_FORMAT = "repro-cache-entry-v1"
+
+#: shard directory quarantined (undecodable) entries are moved into
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -90,31 +101,99 @@ class CacheEntry:
 
 
 class CertificateStore:
-    """The file-system layer of the result cache."""
+    """The file-system layer of the result cache.
 
-    def __init__(self, root: str) -> None:
+    ``max_entries``/``max_bytes`` (``None`` = unbounded) cap the store;
+    :meth:`save` enforces them by LRU eviction, with entry-file mtimes
+    (touched on every successful load) as the recency clock.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = root
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self.quarantined = 0
         os.makedirs(root, exist_ok=True)
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    def quarantine_path_for(self, key: str) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR, f"{key}.json")
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self.path_for(key))
 
-    def load(self, key: str) -> Optional[CacheEntry]:
-        """Read one entry; any I/O or parse failure reads as absent."""
+    def load_strict(self, key: str) -> Tuple[Optional[CacheEntry], str]:
+        """Read one entry, reporting *why* it is unreadable.
+
+        Returns ``(entry, "ok")``, or ``(None, reason)`` with reason
+        ``"absent"`` (no file), ``"undecodable"`` (torn/tampered document)
+        or ``"key-mismatch"`` (a moved/renamed file must not impersonate
+        another query).  Never raises on store garbage.
+        """
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as handle:
                 document = json.load(handle)
+        except OSError:
+            return None, "absent"
+        except ValueError:
+            return None, "undecodable"
+        try:
             entry = CacheEntry.from_json(document)
-        except (OSError, ValueError):  # CertificateError is a ValueError
-            return None
+        except (ValueError, TypeError, KeyError):
+            return None, "undecodable"
         if entry.key != key:
-            # a moved/renamed file must not impersonate another query
+            return None, "key-mismatch"
+        return entry, "ok"
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        """Read one entry; any failure reads as absent, garbage is quarantined.
+
+        A successful load touches the entry file (its mtime is the LRU
+        recency clock used by :meth:`evict`).
+        """
+        entry, reason = self.load_strict(key)
+        if entry is None:
+            if reason in ("undecodable", "key-mismatch"):
+                self.quarantine(key, reason)
             return None
+        try:
+            os.utime(self.path_for(key), None)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
         return entry
+
+    def quarantine(self, key: str, reason: str = "") -> Optional[str]:
+        """Move a broken entry into the quarantine shard instead of crashing.
+
+        The file stops being a cache entry (``keys`` skips the quarantine
+        shard) but remains on disk as evidence for ``repro-cache fsck``.
+        """
+        source = self.path_for(key)
+        target = self.quarantine_path_for(key)
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(source, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        return target
+
+    def quarantine_keys(self) -> List[str]:
+        shard_path = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            names = sorted(os.listdir(shard_path))
+        except OSError:
+            return []
+        return [name[: -len(".json")] for name in names if name.endswith(".json")]
 
     def save(self, entry: CacheEntry) -> str:
         """Atomically write one entry; returns its path."""
@@ -136,6 +215,8 @@ class CertificateStore:
             except OSError:
                 pass
             raise
+        _fault_injection.tamper_saved_entry(path, entry.key, payload)
+        self.evict()
         return path
 
     def delete(self, key: str) -> bool:
@@ -147,10 +228,57 @@ class CertificateStore:
             return False
 
     # ------------------------------------------------------------------
+    def _entry_files(self) -> List[Tuple[float, int, str, str]]:
+        """``(mtime, size, key, path)`` of every entry file, oldest first."""
+        rows: List[Tuple[float, int, str, str]] = []
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            rows.append((stat.st_mtime, stat.st_size, key, path))
+        rows.sort()
+        return rows
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _, _ in self._entry_files())
+
+    def evict(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> List[str]:
+        """Drop least-recently-used entries until the store fits the caps.
+
+        Defaults to the store's configured caps; explicit arguments allow a
+        one-off shrink (``repro-cache evict``).  Returns the evicted keys.
+        """
+        max_entries = self.max_entries if max_entries is None else max_entries
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        if max_entries is None and max_bytes is None:
+            return []
+        rows = self._entry_files()
+        total = sum(size for _, size, _, _ in rows)
+        evicted: List[str] = []
+        while rows and (
+            (max_entries is not None and len(rows) > max_entries)
+            or (max_bytes is not None and total > max_bytes)
+        ):
+            _, size, key, _ = rows.pop(0)
+            if self.delete(key):
+                self.evictions += 1
+                evicted.append(key)
+            total -= size
+        return evicted
+
+    # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
         for shard in sorted(os.listdir(self.root)):
             shard_path = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_path):
+            # entry shards are two hex characters; anything else (the
+            # quarantine shard, stray directories) is not entry space
+            if len(shard) != 2 or not os.path.isdir(shard_path):
                 continue
             for name in sorted(os.listdir(shard_path)):
                 if name.endswith(".json"):

@@ -50,6 +50,11 @@ from repro.engines.portfolio import (
     run_portfolio,
 )
 from repro.engines.batch import BatchItem, BatchReport, BatchRunner
+from repro.engines.supervision import (
+    RetryPolicy,
+    SupervisedOutcome,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "Status",
@@ -86,4 +91,7 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "BatchRunner",
+    "RetryPolicy",
+    "SupervisedOutcome",
+    "WorkerSupervisor",
 ]

@@ -20,17 +20,45 @@ sequences them.
 
 from __future__ import annotations
 
+import functools
 import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.engines.result import VerificationResult
+from repro.faults import injection as _fault_injection
 from repro.netlist import TransitionSystem
 
 
 class EngineOptionError(ValueError):
     """Raised when an engine is instantiated with options it does not accept."""
+
+
+def _instrument_verify(inner):
+    """Wrap a concrete ``verify`` with the fault-injection points.
+
+    With no fault plan installed (the production case) the wrapper is one
+    global read and a tail call.  Under a plan it fires start-of-verify
+    faults (slow-start, crash, SIGKILL, solver wedge) before the engine runs
+    and may replace the result with a forged-certificate lie afterwards —
+    every category surfaces through the engine's normal result channel.
+    """
+
+    @functools.wraps(inner)
+    def verify(self, property_name=None, timeout=None):
+        if _fault_injection.current() is None:
+            return inner(self, property_name, timeout)
+        _fault_injection.on_engine_start(self, property_name)
+        try:
+            result = inner(self, property_name, timeout)
+        finally:
+            _fault_injection.on_engine_finish()
+        forged = _fault_injection.maybe_forge(self, property_name, result)
+        return forged if forged is not None else result
+
+    verify._fault_instrumented = True
+    return verify
 
 
 @dataclass(frozen=True)
@@ -90,6 +118,19 @@ class Engine(ABC):
 
     def __init__(self, system: TransitionSystem) -> None:
         self.system = system
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Instrument every concrete ``verify`` with the fault-injection API.
+
+        Threading the injection through the base class means *all* engines —
+        registry-made, hand-constructed, future ones — are chaos-testable
+        without per-engine changes, and the portfolio/batch/cache layers
+        above see injected faults only through the ordinary result taxonomy.
+        """
+        super().__init_subclass__(**kwargs)
+        verify = cls.__dict__.get("verify")
+        if verify is not None and not getattr(verify, "_fault_instrumented", False):
+            cls.verify = _instrument_verify(verify)
 
     # ------------------------------------------------------------------
     @abstractmethod

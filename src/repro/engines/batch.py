@@ -43,6 +43,11 @@ from repro.engines.portfolio import (
 )
 from repro.engines.registry import make_engine
 from repro.engines.result import Budget, Status, VerificationResult
+from repro.engines.supervision import (
+    TIMED_OUT as _UNIT_TIMED_OUT,
+    RetryPolicy,
+    WorkerSupervisor,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -55,6 +60,7 @@ def run_sequential_ladder(
     property_name: Optional[str],
     rungs: Sequence[LadderRung],
     timeout: Optional[float] = None,
+    certify: bool = False,
 ) -> VerificationResult:
     """Escalate through the ladder rungs one engine at a time, in-process.
 
@@ -62,7 +68,10 @@ def run_sequential_ladder(
     (clipped to the overall ``timeout``); the first definitive answer wins
     and the attempt log is recorded under ``detail["ladder_attempts"]``.
     Engine crashes are recorded and skipped — the batch counterpart of the
-    portfolio's crash category.
+    portfolio's crash category.  With ``certify`` a definitive answer is
+    accepted only if its certificate passes independent validation; a claim
+    that fails (a lying or fault-injected engine) is recorded as an
+    ``uncertified`` attempt and the ladder escalates past it.
     """
     budget = Budget(timeout)
     attempts: List[Dict[str, object]] = []
@@ -113,6 +122,17 @@ def run_sequential_ladder(
             )
             if result.status == Status.UNKNOWN:
                 saw_unknown = True
+            if result.is_definitive and certify:
+                from repro.certs import validate_result
+
+                validation = validate_result(system, result, timeout=allowance)
+                if not validation.ok:
+                    attempts[-1]["status"] = "uncertified"
+                    attempts[-1]["reason"] = (
+                        f"certificate rejected: {validation.reason}"
+                    )
+                    continue
+                result.detail["certified"] = True
             if result.is_definitive:
                 result.detail["ladder_rung"] = rung_index
                 result.detail["ladder_attempts"] = attempts
@@ -183,6 +203,8 @@ class BatchItemResult:
     expected: Optional[str] = None
     reason: str = ""
     minimization: Optional[Dict[str, object]] = None
+    #: supervision record of the unit (attempt log, retries, degradation)
+    supervision: Optional[Dict[str, object]] = None
 
     @property
     def correct(self) -> Optional[bool]:
@@ -205,6 +227,7 @@ class BatchItemResult:
             "correct": self.correct,
             "reason": self.reason,
             "minimization": self.minimization,
+            "supervision": self.supervision,
         }
 
 
@@ -218,6 +241,10 @@ class BatchReport:
     cache_hits: int = 0
     cache_misses: int = 0
     demotions: int = 0
+    #: supervised retries launched across all units
+    retries: int = 0
+    #: units that ran in-process after the pool went unhealthy
+    degraded: int = 0
 
     @property
     def all_definitive(self) -> bool:
@@ -239,6 +266,8 @@ class BatchReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "demotions": self.demotions,
+            "retries": self.retries,
+            "degraded": self.degraded,
             "all_definitive": self.all_definitive,
             "all_correct": self.all_correct,
             "items": [item.to_json() for item in self.items],
@@ -254,11 +283,14 @@ def _batch_worker(
     payload: Tuple[int, VerificationTask, Optional[str], Tuple[LadderRung, ...], Optional[float]],
 ) -> Tuple[int, VerificationResult]:
     """Run one unit of work (sequential ladder) in a pool process."""
-    index, task, property_name, rungs, timeout = payload
+    index, task, property_name, rungs, timeout = payload[:5]
+    certify = bool(payload[5]) if len(payload) > 5 else False
     start = time.monotonic()
     try:
         system = task.load()
-        result = run_sequential_ladder(system, property_name, rungs, timeout)
+        result = run_sequential_ladder(
+            system, property_name, rungs, timeout, certify=certify
+        )
     except Exception as error:  # noqa: BLE001 - loader/ladder crash
         result = VerificationResult(
             Status.ERROR,
@@ -278,6 +310,23 @@ def _batch_worker(
             reason=result.reason or "detail dropped (not picklable)",
         )
     return index, result
+
+
+def _accept_definitive(payload, value) -> Optional[str]:
+    """Supervision acceptance test for a batch worker's answer.
+
+    A ladder that came back without a definitive verdict (every rung
+    crashed, wedged, or had its certificate rejected) is worth retrying
+    while the unit still has wall budget — the supervisor keeps the
+    rejected answer as the fallback if the retry fares no better.
+    """
+    try:
+        _, result = value
+    except (TypeError, ValueError):
+        return "malformed worker answer"
+    if result.status in Status.DEFINITIVE:
+        return None
+    return f"no definitive verdict ({result.status}: {result.reason or 'inconclusive'})"
 
 
 # ---------------------------------------------------------------------------
@@ -307,7 +356,16 @@ class BatchRunner:
         priors learned from local ``BENCH_*.json`` reports).
     on_event:
         Optional callback receiving progress dicts (``hit``/``scheduled``/
-        ``result``/``stored`` events).
+        ``result``/``stored``/``supervision`` events).
+    retry:
+        :class:`repro.engines.supervision.RetryPolicy` for crashed or
+        timed-out units (default: one retry with backoff).
+    attempt_timeout:
+        Per-attempt wall cap in seconds (on top of the per-item ``timeout``
+        budget); a wedged worker is killed this long after launch.
+    certify:
+        Accept a definitive ladder answer only when its certificate passes
+        independent validation (see :func:`run_sequential_ladder`).
     """
 
     def __init__(
@@ -321,6 +379,9 @@ class BatchRunner:
         priors: Optional[Dict[str, Dict[str, float]]] = None,
         on_event: Optional[Callable[[Dict[str, object]], None]] = None,
         warm_templates: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        attempt_timeout: Optional[float] = None,
+        certify: bool = False,
     ) -> None:
         self.cache = cache
         self.jobs = jobs
@@ -336,6 +397,9 @@ class BatchRunner:
         self.ladder = tuple(ladder)
         self.on_event = on_event
         self.warm_templates = warm_templates
+        self.retry = retry
+        self.attempt_timeout = attempt_timeout
+        self.certify = certify
         start_methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in start_methods else "spawn"
@@ -451,20 +515,70 @@ class BatchRunner:
             jobs = max(1, min(jobs, len(pending)))
             report.workers = jobs
             payloads = [
-                (index, units[index][0], units[index][1], self.ladder, self.timeout)
+                (
+                    index,
+                    units[index][0],
+                    units[index][1],
+                    self.ladder,
+                    self.timeout,
+                    self.certify,
+                )
                 for index in pending
             ]
             for index in pending:
                 task, property_name, _ = units[index]
                 self._emit("scheduled", design=task.name, property=property_name)
-            with self._context.Pool(processes=jobs) as pool:
-                for index, result in pool.imap_unordered(_batch_worker, payloads):
-                    task, property_name, expected = units[index]
-                    report.items[index] = self._finish(
-                        task, property_name, expected, result
+            supervisor = WorkerSupervisor(self._context, retry=self.retry)
+            outcomes = supervisor.run_map(
+                payloads,
+                _batch_worker,
+                jobs=jobs,
+                timeout=self.timeout,
+                attempt_timeout=self.attempt_timeout,
+                # thread the attempt's allowance into the payload so the
+                # ladder (and its solvers) arm cooperative deadlines; the
+                # external kill is only the backstop for wedged workers
+                rebudget=lambda payload, allowance: (
+                    payload[:4] + (allowance,) + payload[5:]
+                ),
+                accept=_accept_definitive,
+                on_event=lambda event: self._emit(
+                    "supervision", **{"kind" if k == "event" else k: v for k, v in event.items()}
+                ),
+            )
+            for payload, outcome in zip(payloads, outcomes):
+                index = payload[0]
+                task, property_name, expected = units[index]
+                if outcome.value is not None:
+                    _, result = outcome.value
+                else:
+                    # the unit never reported: surface the supervision state
+                    # through the ordinary result taxonomy, never skip it
+                    status = (
+                        Status.TIMEOUT
+                        if outcome.state == _UNIT_TIMED_OUT
+                        else Status.ERROR
                     )
-                pool.close()
-                pool.join()
+                    runtime = sum(
+                        a.get("runtime_s", 0.0) for a in outcome.attempts
+                    )
+                    result = VerificationResult(
+                        status,
+                        "batch",
+                        property_name or "",
+                        runtime=runtime,
+                        reason=(
+                            f"worker {outcome.state} after "
+                            f"{len(outcome.attempts)} attempt(s)"
+                            + (f": {outcome.reason}" if outcome.reason else "")
+                        ),
+                    )
+                row = self._finish(task, property_name, expected, result)
+                row.supervision = outcome.to_json()
+                report.items[index] = row
+                report.retries += max(0, len(outcome.attempts) - 1)
+                if outcome.degraded:
+                    report.degraded += 1
 
         report.wall_s = time.monotonic() - start
         return report

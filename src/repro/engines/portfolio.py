@@ -29,11 +29,15 @@ import os
 import pickle
 import queue as queue_module
 import time
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engines.registry import list_engines, make_engine
 from repro.engines.result import Counterexample, Status, VerificationResult
+from repro.engines.supervision import RetryPolicy, WorkerSupervisor
+from repro.faults import injection as _fault_injection
 from repro.netlist import TransitionSystem
 
 
@@ -302,27 +306,47 @@ def learn_priors(paths: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, f
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 report = json.load(handle)
-        except (OSError, ValueError):
+        except (OSError, ValueError) as error:
+            warnings.warn(
+                f"learn_priors: skipping unreadable benchmark report "
+                f"{path}: {error}",
+                stacklevel=2,
+            )
             continue
         if not isinstance(report, dict):
+            warnings.warn(
+                f"learn_priors: skipping malformed benchmark report "
+                f"{path}: top level is not an object",
+                stacklevel=2,
+            )
             continue
-        for row in report.get("portfolio", []) or []:
-            for label, single in (row.get("singles") or {}).items():
-                record(label, single.get("runtime_s"), single.get("status"))
-        for row in report.get("certification", []) or []:
-            for engine, outcome in (row.get("engines") or {}).items():
-                record(engine, outcome.get("runtime_s"), outcome.get("status"))
-        for row in report.get("verdict_sweep", []) or []:
-            for engine, outcome in (row.get("engines") or {}).items():
-                session = outcome.get("session") or {}
-                record(engine, session.get("runtime_s"), session.get("status"))
-        sweeps = report.get("sweeps") or {}
-        for sweep in sweeps.values():
-            for item in (sweep or {}).get("items", []) or []:
-                engine = str(item.get("source", ""))
-                if engine.startswith("cache"):
-                    continue
-                record(engine, item.get("runtime_s"), item.get("status"))
+        # a torn or hand-mangled report may hold any shape under these
+        # keys; one bad report must not poison prior learning for the rest
+        try:
+            for row in report.get("portfolio", []) or []:
+                for label, single in (row.get("singles") or {}).items():
+                    record(label, single.get("runtime_s"), single.get("status"))
+            for row in report.get("certification", []) or []:
+                for engine, outcome in (row.get("engines") or {}).items():
+                    record(engine, outcome.get("runtime_s"), outcome.get("status"))
+            for row in report.get("verdict_sweep", []) or []:
+                for engine, outcome in (row.get("engines") or {}).items():
+                    session = outcome.get("session") or {}
+                    record(engine, session.get("runtime_s"), session.get("status"))
+            sweeps = report.get("sweeps") or {}
+            for sweep in sweeps.values():
+                for item in (sweep or {}).get("items", []) or []:
+                    engine = str(item.get("source", ""))
+                    if engine.startswith("cache"):
+                        continue
+                    record(engine, item.get("runtime_s"), item.get("status"))
+        except (AttributeError, TypeError, ValueError) as error:
+            warnings.warn(
+                f"learn_priors: skipping malformed benchmark report "
+                f"{path}: {error}",
+                stacklevel=2,
+            )
+            continue
 
     priors: Dict[str, Dict[str, float]] = {}
     for engine, runs in samples.items():
@@ -418,6 +442,10 @@ class WorkerOutcome:
     state: str
     result: Optional[VerificationResult] = None
     runtime: float = 0.0
+    #: process attempts this configuration consumed (retries increment it)
+    attempts: int = 1
+    #: True when the outcome was produced in-process after pool degradation
+    degraded: bool = False
 
     @property
     def status(self) -> str:
@@ -471,9 +499,11 @@ def _portfolio_worker(
     property_name: Optional[str],
     timeout: Optional[float],
     events: "multiprocessing.Queue",
+    attempt: int = 0,
 ) -> None:
     """Run one engine configuration and stream lifecycle events back."""
     start = time.monotonic()
+    _fault_injection.set_attempt(attempt)
     try:
         system = task.load()
         engine = make_engine(
@@ -555,6 +585,16 @@ class PortfolioRunner:
         at a small budget first, escalating to the provers only when a rung
         ends without a definitive answer — with per-rung cancellation.
         ``timeout`` still bounds the whole ladder.
+    retry:
+        :class:`repro.engines.supervision.RetryPolicy` for workers that die
+        without reporting: the crashed configuration is relaunched with
+        exponential backoff while the portfolio's remaining budget allows
+        (default: one retry).
+    certify:
+        Accept a definitive worker answer only when its certificate passes
+        independent validation (:func:`repro.certs.validate_result`); an
+        uncertified claim is excluded from winning and recorded under
+        ``detail["certification"]``.
     """
 
     #: extra wall-clock grace before force-terminating workers at the deadline
@@ -571,6 +611,8 @@ class PortfolioRunner:
         poll_interval: float = 0.05,
         warm_templates: bool = True,
         ladder: Optional[Sequence[LadderRung]] = None,
+        retry: Optional[RetryPolicy] = None,
+        certify: bool = False,
     ) -> None:
         self.ladder = list(ladder) if ladder is not None else None
         if self.ladder is not None:
@@ -600,6 +642,8 @@ class PortfolioRunner:
         self.on_event = on_event
         self.poll_interval = poll_interval
         self.warm_templates = warm_templates
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.certify = certify
         start_methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in start_methods else "spawn"
@@ -643,22 +687,38 @@ class PortfolioRunner:
         ]
         processes: Dict[int, multiprocessing.Process] = {}
         launched: Dict[int, float] = {}
-        next_index = 0
         finished = 0
         winner_index: Optional[int] = None
+        supervisor = WorkerSupervisor(
+            self._context, retry=self.retry, grace=self.GRACE_SECONDS
+        )
+        launch_queue = deque(range(len(self.configs)))
+        attempts: Dict[int, int] = {}
+        not_before: Dict[int, float] = {}
+        retry_pending: set = set()
+        degraded = False
 
         def emit(event: str, **payload) -> None:
             if self.on_event is not None:
                 self.on_event({"event": event, **payload})
 
         def launch_until_full() -> None:
-            nonlocal next_index
-            while next_index < len(self.configs) and len(processes) < self.max_workers:
-                index = next_index
-                next_index += 1
-                remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-                process = self._context.Process(
-                    target=_portfolio_worker,
+            nonlocal degraded
+            rotations = 0
+            while launch_queue and len(processes) < self.max_workers and not degraded:
+                now = time.monotonic()
+                index = launch_queue[0]
+                if not_before.get(index, 0.0) > now:
+                    # retry backoff not elapsed: rotate so others can launch
+                    launch_queue.rotate(-1)
+                    rotations += 1
+                    if rotations >= len(launch_queue):
+                        break
+                    continue
+                launch_queue.popleft()
+                remaining = None if deadline is None else max(0.0, deadline - now)
+                process = supervisor.spawn(
+                    _portfolio_worker,
                     args=(
                         index,
                         self.configs[index],
@@ -666,19 +726,53 @@ class PortfolioRunner:
                         property_name,
                         remaining,
                         events,
+                        attempts.get(index, 0),
                     ),
-                    daemon=True,
                 )
-                process.start()
+                if process is None:
+                    launch_queue.appendleft(index)
+                    if not supervisor.pool_healthy:
+                        degraded = True
+                        emit("pool-unhealthy", error=supervisor.last_spawn_error)
+                    break
                 processes[index] = process
                 launched[index] = time.monotonic()
+                retry_pending.discard(index)
                 outcomes[index].state = CANCELLED  # running; refined on completion
+                outcomes[index].attempts = attempts.get(index, 0) + 1
+
+        def reap_death(index: int) -> None:
+            """A worker died without reporting: retry under budget or retire."""
+            nonlocal finished
+            outcomes[index].state = CRASHED
+            outcomes[index].runtime = time.monotonic() - launched[index]
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if winner_index is None and self.retry.should_retry(
+                CRASHED, attempts.get(index, 0), remaining
+            ):
+                attempts[index] = attempts.get(index, 0) + 1
+                not_before[index] = time.monotonic() + self.retry.backoff(
+                    attempts[index]
+                )
+                retry_pending.add(index)
+                supervisor.retries_launched += 1
+                launch_queue.append(index)
+                emit(
+                    "retry",
+                    label=outcomes[index].label,
+                    attempt=attempts[index],
+                )
+            else:
+                finished += 1
+                emit("crashed", label=outcomes[index].label)
 
         launch_until_full()
 
-        while finished < len(self.configs) and (processes or next_index < len(self.configs)):
+        while finished < len(self.configs) and (processes or launch_queue):
             if deadline is not None and time.monotonic() > deadline + self.GRACE_SECONDS:
                 break
+            if degraded and not processes:
+                break  # the degraded in-process drain below takes over
             try:
                 kind, index, payload = events.get(timeout=self.poll_interval)
             except queue_module.Empty:
@@ -688,10 +782,7 @@ class PortfolioRunner:
                         process.join()
                         del processes[index]
                         if outcomes[index].result is None:
-                            outcomes[index].state = CRASHED
-                            outcomes[index].runtime = time.monotonic() - launched[index]
-                            finished += 1
-                            emit("crashed", label=outcomes[index].label)
+                            reap_death(index)
                 launch_until_full()
                 continue
             if kind == "started":
@@ -701,10 +792,18 @@ class PortfolioRunner:
             result: VerificationResult = payload
             # a result can land after the reap branch already marked the
             # worker CRASHED (queue feeder raced the process exit): upgrade
-            # the outcome but do not count the worker as finished twice
-            first_report = (
-                outcomes[index].result is None and outcomes[index].state != CRASHED
+            # the outcome but do not count the worker as finished twice —
+            # unless a retry is still pending, in which case this result
+            # settles the unit and the retry is withdrawn
+            first_report = outcomes[index].result is None and (
+                outcomes[index].state != CRASHED or index in retry_pending
             )
+            if index in retry_pending:
+                retry_pending.discard(index)
+                try:
+                    launch_queue.remove(index)
+                except ValueError:
+                    pass
             outcomes[index].result = result
             outcomes[index].state = DONE
             outcomes[index].runtime = time.monotonic() - launched[index]
@@ -714,8 +813,7 @@ class PortfolioRunner:
             if process is not None:
                 process.join(timeout=self.GRACE_SECONDS)
                 if process.is_alive():  # pragma: no cover - defensive
-                    process.terminate()
-                    process.join()
+                    supervisor.stop(process)
             emit(
                 "result",
                 label=outcomes[index].label,
@@ -744,12 +842,11 @@ class PortfolioRunner:
             if process is not None:
                 process.join(timeout=self.GRACE_SECONDS)
 
-        # cancel/terminate everything still in flight
+        # cancel everything still in flight, escalating terminate → SIGKILL so
+        # a SIGTERM-ignoring worker can never leak past the driver as a zombie
         deadline_hit = deadline is not None and time.monotonic() >= deadline
         for index, process in processes.items():
-            if process.is_alive():
-                process.terminate()
-            process.join()
+            supervisor.stop(process)
             if outcomes[index].result is None:
                 outcomes[index].state = TIMED_OUT if winner_index is None and deadline_hit else CANCELLED
                 outcomes[index].runtime = time.monotonic() - launched[index]
@@ -757,7 +854,63 @@ class PortfolioRunner:
         events.close()
         events.cancel_join_thread()
 
-        return self._aggregate(task, property_name, outcomes, winner_index, start)
+        if degraded and winner_index is None:
+            # spawning is broken: give every unanswered configuration its
+            # shot in-process, sequentially, until one answers definitively —
+            # a degraded portfolio still serves every query
+            for index, outcome in enumerate(outcomes):
+                if outcome.result is not None:
+                    continue
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                t0 = time.monotonic()
+                _fault_injection.set_attempt(attempts.get(index, 0))
+                try:
+                    system = task.load()
+                    engine = make_engine(
+                        self.configs[index].engine,
+                        system,
+                        ignore_unknown_options=True,
+                        **self.configs[index].options_dict,
+                    )
+                    result = engine.verify(property_name, timeout=remaining)
+                except Exception as error:  # noqa: BLE001 - crash category
+                    result = VerificationResult(
+                        Status.ERROR,
+                        self.configs[index].engine,
+                        property_name or "",
+                        runtime=time.monotonic() - t0,
+                        reason=f"{type(error).__name__}: {error}",
+                    )
+                finally:
+                    _fault_injection.set_attempt(0)
+                outcome.result = result
+                outcome.state = DONE
+                outcome.degraded = True
+                outcome.runtime = time.monotonic() - t0
+                emit(
+                    "degraded",
+                    label=outcome.label,
+                    status=result.status,
+                    runtime=outcome.runtime,
+                )
+                if result.is_definitive and not self.cross_check:
+                    winner_index = index
+                    break
+
+        supervision = {
+            "spawned": supervisor.spawned,
+            "spawn_failures": supervisor.spawn_failures,
+            "retries": supervisor.retries_launched,
+            "kills": supervisor.kills,
+            "degraded": degraded,
+        }
+        return self._aggregate(
+            task, property_name, outcomes, winner_index, start, supervision
+        )
 
     # ------------------------------------------------------------------
     def _run_ladder(
@@ -804,6 +957,8 @@ class PortfolioRunner:
                 on_event=self._rung_event(index, rung),
                 poll_interval=self.poll_interval,
                 warm_templates=False,  # warmed once above
+                retry=self.retry,
+                certify=self.certify,
             )
             rung_start = time.monotonic()
             result = child.run(task, property_name)
@@ -897,6 +1052,7 @@ class PortfolioRunner:
         outcomes: List[WorkerOutcome],
         winner_index: Optional[int],
         start: float,
+        supervision: Optional[Dict[str, object]] = None,
     ) -> PortfolioResult:
         runtime = time.monotonic() - start
         detail: Dict[str, object] = {
@@ -908,12 +1064,46 @@ class PortfolioRunner:
             # CPU-bound), compared against ladder CPU by the serve bench
             "cpu_s": round(sum(outcome.runtime for outcome in outcomes), 6),
         }
+        if supervision is not None:
+            detail["supervision"] = supervision
 
         definitive = [
             outcome
             for outcome in outcomes
             if outcome.result is not None and outcome.result.is_definitive
         ]
+
+        # certify mode: a definitive claim counts only with a certificate the
+        # independent validator accepts — a liar is excluded from winning and
+        # its rejection recorded, never silently dropped
+        if self.certify and definitive:
+            certification: Dict[str, Dict[str, object]] = {}
+            certified: List[WorkerOutcome] = []
+            try:
+                system = task.load()
+            except Exception as error:  # noqa: BLE001 - loader failures
+                detail["certification"] = {
+                    "error": f"{type(error).__name__}: {error}"
+                }
+                system = None
+            if system is not None:
+                from repro.certs import validate_result
+
+                for outcome in definitive:
+                    validation = validate_result(
+                        system, outcome.result, timeout=self.timeout
+                    )
+                    certification[outcome.label] = {
+                        "claimed": outcome.result.status,
+                        "certified": validation.ok,
+                        "reason": validation.reason,
+                    }
+                    if validation.ok:
+                        certified.append(outcome)
+                detail["certification"] = certification
+                if winner_index is not None and outcomes[winner_index] not in certified:
+                    winner_index = None
+                definitive = certified
 
         # cross-check: disagreeing definitive answers are adjudicated by
         # validating the workers' certificates with the independent checker;

@@ -1,0 +1,464 @@
+"""Supervised worker execution: deadlines, kill escalation, retries, fallback.
+
+The portfolio and batch drivers both delegate their process hygiene to a
+:class:`WorkerSupervisor`:
+
+* **spawn health** — process launches go through :meth:`WorkerSupervisor.spawn`,
+  which counts consecutive failures; after :data:`~WorkerSupervisor.UNHEALTHY_AFTER`
+  of them the pool is declared unhealthy and the drivers degrade to
+  in-process sequential execution, so a query always gets an answer;
+* **stop escalation** — :meth:`WorkerSupervisor.stop` terminates, waits a
+  grace period, then SIGKILLs and reaps, so a SIGTERM-ignoring worker can
+  never leak as a zombie past the driver;
+* **supervised retries** — :meth:`WorkerSupervisor.run_map` runs a batch of
+  payloads with a per-attempt deadline and retries ``crashed``/``timed-out``
+  attempts with exponential backoff under the unit's remaining budget.
+
+Attempt states are part of the public outcome taxonomy: ``done``,
+``crashed`` (process died without reporting), ``timed-out`` (killed at the
+attempt deadline), ``degraded`` (ran in-process after the pool went
+unhealthy) — a fault is never a silent skip.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.faults import injection as _fault_injection
+
+#: attempt/unit states of the supervision taxonomy
+DONE = "done"
+CRASHED = "crashed"
+TIMED_OUT = "timed-out"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How supervised attempts are retried.
+
+    ``max_attempts`` counts all attempts of a unit (1 disables retries).
+    The backoff before retry ``n`` (1-based) is
+    ``backoff_s * backoff_factor ** (n - 1)``; a retry launches only while
+    the unit has more than ``min_budget_s`` of its wall budget left — the
+    "remaining rung budget" rule: a unit whose first attempt burned the
+    whole budget timing out is not retried, one whose worker was killed
+    early is.
+    """
+
+    max_attempts: int = 2
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    min_budget_s: float = 0.05
+    retry_states: Sequence[str] = (CRASHED, TIMED_OUT)
+
+    def backoff(self, attempt: int) -> float:
+        return self.backoff_s * (self.backoff_factor ** max(0, attempt - 1))
+
+    def should_retry(
+        self, state: str, attempt: int, remaining: Optional[float]
+    ) -> bool:
+        if state not in self.retry_states:
+            return False
+        if attempt + 1 >= self.max_attempts:
+            return False
+        return remaining is None or remaining > self.min_budget_s
+
+
+@dataclass
+class SupervisedOutcome:
+    """Final state of one supervised unit plus its full attempt log."""
+
+    state: str = CRASHED
+    value: object = None
+    attempts: List[Dict[str, object]] = field(default_factory=list)
+    degraded: bool = False
+    reason: str = ""
+
+    @property
+    def retried(self) -> bool:
+        return len(self.attempts) > 1
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "attempts": self.attempts,
+            "retried": self.retried,
+            "degraded": self.degraded,
+            "reason": self.reason,
+        }
+
+
+def _run_attempt(worker, payload, attempt, conn) -> None:
+    """Child-process entry: run one attempt, send the outcome back.
+
+    Each attempt reports over its *own* pipe — a shared queue's write lock
+    dies with whichever worker the supervisor happens to kill mid-send,
+    wedging every other worker; per-attempt pipes make kills free of
+    cross-worker collateral.
+    """
+    _fault_injection.set_attempt(attempt)
+    try:
+        value = worker(payload)
+        status = "ok"
+    except BaseException as error:  # noqa: BLE001 - reported, never silent
+        value = f"{type(error).__name__}: {error}"
+        status = "error"
+    try:
+        conn.send((status, value))
+    except Exception:  # pragma: no cover - unpicklable worker result
+        try:
+            conn.send(("error", "worker result not picklable"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Slot:
+    payload: object
+    budget: Optional[float]  # wall budget across all attempts of the unit
+    attempt: int = 0
+    started: Optional[float] = None  # first launch (budget anchor)
+    launched: Optional[float] = None  # current attempt launch
+    deadline: Optional[float] = None  # current attempt kill deadline
+    not_before: float = 0.0  # backoff gate for the next launch
+    dead_since: Optional[float] = None  # process found dead, result may race
+    conn: Optional[object] = None  # parent end of the attempt's result pipe
+
+    def close_conn(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self.conn = None
+
+    def remaining(self, now: float) -> Optional[float]:
+        if self.budget is None:
+            return None
+        anchor = self.started if self.started is not None else now
+        return self.budget - (now - anchor)
+
+
+class WorkerSupervisor:
+    """Process supervision shared by the portfolio and batch drivers."""
+
+    #: consecutive spawn failures after which the pool is unhealthy
+    UNHEALTHY_AFTER = 3
+    #: grace between SIGTERM and SIGKILL when stopping a worker
+    GRACE_SECONDS = 2.0
+    #: how long a dead worker's in-flight result may still arrive
+    REAP_GRACE_SECONDS = 0.25
+
+    def __init__(
+        self,
+        context,
+        retry: Optional[RetryPolicy] = None,
+        grace: Optional[float] = None,
+    ) -> None:
+        self.context = context
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.grace = self.GRACE_SECONDS if grace is None else grace
+        #: consecutive spawn failures (reset by any success)
+        self.spawn_failures = 0
+        self.spawned = 0
+        self.kills = 0
+        self.retries_launched = 0
+        self.last_spawn_error = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def pool_healthy(self) -> bool:
+        return self.spawn_failures < self.UNHEALTHY_AFTER
+
+    def spawn(self, target, args=(), daemon: bool = True):
+        """Start one worker process; ``None`` on failure (health-counted)."""
+        try:
+            if _fault_injection.fail_spawn(f"spawn:{self.spawned}:{self.spawn_failures}"):
+                raise OSError("injected spawn failure")
+            process = self.context.Process(target=target, args=args, daemon=daemon)
+            process.start()
+        except OSError as error:
+            self.spawn_failures += 1
+            self.last_spawn_error = f"{type(error).__name__}: {error}"
+            return None
+        self.spawn_failures = 0
+        self.spawned += 1
+        return process
+
+    def stop(self, process, grace: Optional[float] = None) -> None:
+        """Terminate → grace → SIGKILL → join: no zombie survives the driver."""
+        if process is None:
+            return
+        grace = self.grace if grace is None else grace
+        if process.is_alive():
+            process.terminate()
+            process.join(grace)
+            if process.is_alive():
+                self.kills += 1
+                kill = getattr(process, "kill", process.terminate)
+                try:
+                    kill()
+                except Exception:  # pragma: no cover - already exiting
+                    pass
+        process.join()
+
+    # ------------------------------------------------------------------
+    def run_map(
+        self,
+        payloads: Sequence[object],
+        worker: Callable[[object], object],
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        attempt_timeout: Optional[float] = None,
+        rebudget: Optional[Callable[[object, Optional[float]], object]] = None,
+        accept: Optional[Callable[[object, object], Optional[str]]] = None,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+        poll_interval: float = 0.05,
+        kill_grace: float = 2.0,
+    ) -> List[SupervisedOutcome]:
+        """Run every payload through ``worker`` under supervision.
+
+        Each unit gets a wall budget of ``timeout`` seconds across all its
+        attempts; each attempt additionally runs at most ``attempt_timeout``
+        seconds.  ``rebudget(payload, allowance)`` lets the caller thread
+        the attempt's allowance into the payload (so the worker's engines
+        arm their cooperative deadlines); the external kill at
+        ``allowance + kill_grace`` is only the backstop for wedged workers.
+        ``accept(payload, value)`` vets a worker's answer semantically:
+        ``None`` accepts it, a reason string treats the attempt as
+        ``timed-out`` (retried under the remaining budget; the rejected
+        value is kept as the unit's fallback answer if every retry fails).
+        If spawning goes unhealthy, the remaining units run in-process
+        (``degraded`` state) so the map always completes.
+        """
+
+        def emit(event: str, **fields) -> None:
+            if on_event is not None:
+                on_event({"event": event, **fields})
+
+        slots = [_Slot(payload, timeout) for payload in payloads]
+        outcomes = [SupervisedOutcome() for _ in slots]
+        finished = [False] * len(slots)
+        pending = deque(range(len(slots)))
+        active: Dict[int, object] = {}
+        degraded = False
+
+        def finalize(index: int, state: str, value=None, reason: str = "") -> None:
+            outcomes[index].state = state
+            outcomes[index].value = value
+            outcomes[index].reason = reason
+            finished[index] = True
+
+        def record_attempt(index: int, state: str, reason: str = "") -> None:
+            slot = slots[index]
+            now = time.monotonic()
+            runtime = now - (slot.launched if slot.launched is not None else now)
+            outcomes[index].attempts.append(
+                {
+                    "attempt": slot.attempt,
+                    "state": state,
+                    "runtime_s": round(runtime, 6),
+                    **({"reason": reason} if reason else {}),
+                }
+            )
+
+        def retire_or_retry(index: int, state: str, reason: str = "") -> None:
+            """One attempt failed: retry under the remaining budget or retire."""
+            slot = slots[index]
+            record_attempt(index, state, reason)
+            remaining = slot.remaining(time.monotonic())
+            if self.retry.should_retry(state, slot.attempt, remaining):
+                slot.attempt += 1
+                slot.not_before = time.monotonic() + self.retry.backoff(slot.attempt)
+                slot.dead_since = None
+                self.retries_launched += 1
+                pending.append(index)
+                emit("retry", unit=index, attempt=slot.attempt, state=state)
+            else:
+                # a semantically rejected answer stashed on the outcome
+                # survives as the unit's fallback value
+                finalize(index, state, value=outcomes[index].value, reason=reason)
+                emit("gave-up", unit=index, state=state, attempts=slot.attempt + 1)
+
+        def run_degraded(index: int) -> None:
+            """In-process fallback: the unit still gets an answer."""
+            slot = slots[index]
+            slot.launched = time.monotonic()
+            if slot.started is None:
+                slot.started = slot.launched
+            allowance = slot.remaining(slot.launched)
+            if attempt_timeout is not None:
+                allowance = (
+                    attempt_timeout
+                    if allowance is None
+                    else min(allowance, attempt_timeout)
+                )
+            payload = slot.payload if rebudget is None else rebudget(slot.payload, allowance)
+            _fault_injection.set_attempt(slot.attempt)
+            try:
+                value = worker(payload)
+                record_attempt(index, DEGRADED)
+                finalize(index, DONE, value=value)
+                outcomes[index].degraded = True
+            except Exception as error:  # noqa: BLE001 - reported, never silent
+                reason = f"{type(error).__name__}: {error}"
+                record_attempt(index, CRASHED, reason)
+                finalize(index, CRASHED, reason=reason)
+                outcomes[index].degraded = True
+            finally:
+                _fault_injection.set_attempt(0)
+            emit("degraded", unit=index, state=outcomes[index].state)
+
+        while pending or active:
+            now = time.monotonic()
+
+            # launch what fits; degrade when the pool is unhealthy
+            launched_any = False
+            rotations = 0
+            while pending and len(active) < jobs and not degraded:
+                index = pending[0]
+                slot = slots[index]
+                if slot.not_before > now:
+                    # backoff not elapsed: rotate so others can launch
+                    pending.rotate(-1)
+                    rotations += 1
+                    if rotations >= len(pending):
+                        break
+                    continue
+                pending.popleft()
+                if slot.started is None:
+                    slot.started = now
+                remaining = slot.remaining(now)
+                if (
+                    slot.attempt > 0
+                    and remaining is not None
+                    and remaining <= self.retry.min_budget_s
+                ):
+                    # budget exhausted between backoff and launch
+                    finalize(index, outcomes[index].attempts[-1]["state"])
+                    continue
+                allowance = remaining
+                if attempt_timeout is not None:
+                    allowance = (
+                        attempt_timeout
+                        if allowance is None
+                        else min(allowance, attempt_timeout)
+                    )
+                payload = (
+                    slot.payload if rebudget is None else rebudget(slot.payload, allowance)
+                )
+                recv_conn, send_conn = self.context.Pipe(duplex=False)
+                process = self.spawn(
+                    _run_attempt, (worker, payload, slot.attempt, send_conn)
+                )
+                send_conn.close()
+                if process is None:
+                    recv_conn.close()
+                    pending.appendleft(index)
+                    if not self.pool_healthy:
+                        degraded = True
+                        emit("pool-unhealthy", error=self.last_spawn_error)
+                    break
+                slot.conn = recv_conn
+                slot.launched = time.monotonic()
+                slot.deadline = (
+                    None if allowance is None else slot.launched + allowance + kill_grace
+                )
+                slot.dead_since = None
+                active[index] = process
+                launched_any = True
+                emit(
+                    "attempt",
+                    unit=index,
+                    attempt=slot.attempt,
+                    pid=process.pid,
+                )
+
+            if degraded and pending and len(active) == 0:
+                # pool is gone: drain the queue in-process, sequentially
+                while pending:
+                    run_degraded(pending.popleft())
+                continue
+
+            if not active:
+                if not pending:
+                    break
+                if not launched_any and not degraded:
+                    time.sleep(min(poll_interval, 0.02))
+                continue
+
+            # drain results from the per-attempt pipes
+            by_conn = {
+                slots[index].conn: index
+                for index in active
+                if slots[index].conn is not None
+            }
+            ready = (
+                _mp_connection.wait(list(by_conn), timeout=poll_interval)
+                if by_conn
+                else time.sleep(poll_interval)
+            )
+            for conn in ready or ():
+                index = by_conn[conn]
+                slot = slots[index]
+                try:
+                    status, value = conn.recv()
+                except (EOFError, OSError):
+                    # the worker died mid-send; the reaper below classifies it
+                    slot.close_conn()
+                    continue
+                slot.close_conn()
+                process = active.pop(index, None)
+                if process is not None:
+                    self.stop(process, grace=self.grace)
+                if status == "ok":
+                    rejection = (
+                        accept(slot.payload, value) if accept is not None else None
+                    )
+                    if rejection is None:
+                        record_attempt(index, DONE)
+                        finalize(index, DONE, value=value)
+                        emit("done", unit=index, attempt=slot.attempt)
+                    else:
+                        outcomes[index].value = value
+                        retire_or_retry(index, TIMED_OUT, reason=rejection)
+                else:
+                    retire_or_retry(index, CRASHED, reason=str(value))
+
+            # reap deaths and enforce attempt deadlines
+            now = time.monotonic()
+            for index, process in list(active.items()):
+                slot = slots[index]
+                if slot.deadline is not None and now > slot.deadline:
+                    active.pop(index)
+                    slot.close_conn()
+                    self.stop(process)
+                    retire_or_retry(
+                        index, TIMED_OUT, reason="attempt deadline exceeded"
+                    )
+                    continue
+                if not process.is_alive():
+                    if slot.dead_since is None:
+                        slot.dead_since = now
+                        continue
+                    if now - slot.dead_since < self.REAP_GRACE_SECONDS:
+                        continue  # an in-flight result may still arrive
+                    active.pop(index)
+                    slot.close_conn()
+                    process.join()
+                    retire_or_retry(
+                        index, CRASHED, reason="worker died without reporting"
+                    )
+
+        # defense in depth: nothing this map started may outlive it
+        for index, process in active.items():  # pragma: no cover - loop drains
+            slots[index].close_conn()
+            self.stop(process)
+        return outcomes

@@ -14,7 +14,7 @@ satisfiability, just as the tools compared in the paper do (ABC, EBMC, CBMC,
 """
 
 from repro.sat.cnf import CNF, neg, var_of, sign_of
-from repro.sat.solver import Solver, SolverResult
+from repro.sat.solver import Solver, SolverInterrupted, SolverResult
 from repro.sat.tseitin import TseitinEncoder
 from repro.sat.interpolate import (
     Interpolator,
@@ -34,6 +34,7 @@ __all__ = [
     "var_of",
     "sign_of",
     "Solver",
+    "SolverInterrupted",
     "SolverResult",
     "TseitinEncoder",
     "Interpolator",

@@ -40,6 +40,18 @@ class SolverResult:
     UNKNOWN = "unknown"
 
 
+class SolverInterrupted(Exception):
+    """Raised inside :meth:`Solver.solve` when an armed deadline expires.
+
+    Armed with :meth:`Solver.set_deadline`, checked cooperatively in the
+    propagate/decide loop (not only on conflicts), so even a solve that
+    produces no conflicts — deep propagation, decision-heavy plateaus, or a
+    wedged search injected by the chaos harness — is interrupted without
+    killing the process.  The solver backtracks to level 0 before raising,
+    so it remains usable afterwards.
+    """
+
+
 @dataclass
 class SolverStats:
     """Counters describing the work performed by the solver."""
@@ -119,6 +131,13 @@ class Solver:
         clauses are never touched.
     """
 
+    #: decisions between cooperative deadline checks in the search loop
+    CHECK_INTERVAL = 128
+
+    #: process-wide hook called at every cooperative checkpoint (used by the
+    #: fault-injection harness to wedge a solve mid-search); ``None`` normally
+    fault_hook = None
+
     def __init__(
         self,
         proof: bool = False,
@@ -127,6 +146,8 @@ class Solver:
     ) -> None:
         self.proof_logging = proof
         self.stats = SolverStats()
+        #: armed cooperative deadline (see :meth:`set_deadline`)
+        self._deadline: Optional[float] = None
 
         # learned-clause database reduction (clause GC)
         self.reduce_base = reduce_base
@@ -1094,6 +1115,37 @@ class Solver:
                 return var
         return None
 
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Arm a cooperative absolute ``time.monotonic()`` deadline.
+
+        Unlike the ``deadline`` argument of :meth:`solve` (which is polled
+        only when conflicts occur and makes the call return ``UNKNOWN``),
+        the armed deadline is checked in the decide loop as well — every
+        :data:`CHECK_INTERVAL` decisions — and expiry raises the catchable
+        :class:`SolverInterrupted`, so deep conflict-free solves are
+        interrupted too.  ``None`` disarms.
+        """
+        self._deadline = deadline
+
+    def _checkpoint(self, deadline: Optional[float]) -> bool:
+        """Cooperative interruption point, reached periodically by the search.
+
+        Runs the process-wide :attr:`fault_hook` (chaos harness) if one is
+        installed, raises :class:`SolverInterrupted` when the armed instance
+        deadline has expired, and returns True when the per-call ``deadline``
+        has (the caller then returns ``UNKNOWN``).
+        """
+        hook = Solver.fault_hook
+        if hook is not None:
+            hook(self)
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self._cancel_until(0)
+            raise SolverInterrupted(
+                f"solver deadline exceeded after {self.stats.conflicts} conflicts, "
+                f"{self.stats.decisions} decisions"
+            )
+        return deadline is not None and time.monotonic() > deadline
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
@@ -1105,6 +1157,9 @@ class Solver:
         Returns one of :data:`SolverResult.SAT`, :data:`SolverResult.UNSAT`
         or :data:`SolverResult.UNKNOWN` (when ``conflict_limit`` or the
         wall-clock ``deadline`` from ``time.monotonic()`` is exceeded).
+        A deadline armed with :meth:`set_deadline` is additionally checked
+        every :data:`CHECK_INTERVAL` decisions and raises
+        :class:`SolverInterrupted` instead.
         On SAT, :meth:`model_value` reports the satisfying assignment.  On
         UNSAT under assumptions, :attr:`failed_assumptions` holds a subset of
         the assumptions sufficient for unsatisfiability.
@@ -1130,6 +1185,7 @@ class Solver:
         restart_index = 1
         restart_limit = 64 * luby(restart_index)
         total_conflicts = 0
+        decisions_since_check = 0
 
         while True:
             conflict = self._propagate()
@@ -1145,7 +1201,7 @@ class Solver:
                 if conflict_limit is not None and total_conflicts > conflict_limit:
                     self._cancel_until(0)
                     return SolverResult.UNKNOWN
-                if deadline is not None and total_conflicts % 64 == 0 and time.monotonic() > deadline:
+                if total_conflicts % 64 == 0 and self._checkpoint(deadline):
                     self._cancel_until(0)
                     return SolverResult.UNKNOWN
                 learned, backtrack, chain = self._analyze(conflict)
@@ -1195,6 +1251,12 @@ class Solver:
                 self._cancel_until(0)
                 return SolverResult.SAT
             self.stats.decisions += 1
+            decisions_since_check += 1
+            if decisions_since_check >= self.CHECK_INTERVAL:
+                decisions_since_check = 0
+                if self._checkpoint(deadline):
+                    self._cancel_until(0)
+                    return SolverResult.UNKNOWN
             self.stats.max_decision_level = max(
                 self.stats.max_decision_level, self._decision_level() + 1
             )

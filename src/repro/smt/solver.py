@@ -16,7 +16,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exprs.nodes import Expr
-from repro.sat.solver import Solver, SolverResult
+from repro.sat.solver import Solver, SolverInterrupted, SolverResult
 from repro.smt.bitblaster import BitBlaster
 
 
@@ -128,8 +128,15 @@ class BVSolver:
     # solving
     # ------------------------------------------------------------------
     def set_deadline(self, deadline: Optional[float]) -> None:
-        """Set an absolute ``time.monotonic()`` deadline for subsequent checks."""
+        """Set an absolute ``time.monotonic()`` deadline for subsequent checks.
+
+        The deadline is armed cooperatively in the underlying CDCL solver
+        (:meth:`repro.sat.solver.Solver.set_deadline`), so it interrupts
+        decision/propagation-heavy solves too, not just conflict-dense ones;
+        an expired check reports :data:`BVResult.UNKNOWN`.
+        """
         self._deadline = deadline
+        self.solver.set_deadline(deadline)
 
     def check(
         self,
@@ -141,11 +148,17 @@ class BVSolver:
         literal_assumptions = list(assumptions)
         for expr in expr_assumptions:
             literal_assumptions.append(self.blaster.blast_bool(expr))
-        return self.solver.solve(
-            assumptions=literal_assumptions,
-            conflict_limit=conflict_limit,
-            deadline=self._deadline,
-        )
+        try:
+            return self.solver.solve(
+                assumptions=literal_assumptions,
+                conflict_limit=conflict_limit,
+                deadline=self._deadline,
+            )
+        except SolverInterrupted:
+            # the engines treat an expired budget as UNKNOWN and convert it
+            # to their TIMEOUT verdict; the solver backtracked to level 0
+            # before raising, so it stays usable
+            return SolverResult.UNKNOWN
 
     def check_expr(self, expr: Expr, conflict_limit: Optional[int] = None) -> str:
         """Check satisfiability of the current constraints plus ``expr``."""

@@ -51,6 +51,15 @@ minimized with before/after validation timings.  ``BENCH_serve.json`` gates
 on: 100 % cold/warm verdict agreement, an all-hit warm sweep at >= 3x the
 cold wall clock, ladder CPU <= fan-out CPU wherever a cheap rung decides,
 and minimized certificates validating no slower than their originals.
+
+``--faults`` runs the chaos harness: seeded :class:`repro.faults.FaultPlan`
+sweeps inject worker kills, exception crashes, SAT-search wedges, spawn
+failures, forged certificates and cache tampering into certified batch runs
+(``--seeds`` controls how many).  ``BENCH_faults.json`` gates on: every
+sweep ends with a definitive, independently validated verdict per item
+(zero WRONGs), no leaked worker processes, ``fsck`` heals every tampered
+cache, and a hang wedged into an in-process SAT solve is broken by the
+cooperative deadline without killing the process.
 """
 
 from __future__ import annotations
@@ -79,6 +88,7 @@ from repro.engines.portfolio import (
 )
 from repro.engines.registry import list_engines, make_engine
 from repro.engines.result import Status
+from repro.jsonio import write_json_atomic
 from repro.smt import BVResult
 
 #: default designs for the deep-unroll comparison (encode-dominated datapaths)
@@ -353,9 +363,7 @@ def write_portfolio_report(rows: List[Dict], out: str, depth: int, timeout: floa
             },
         },
     }
-    with open(out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(out, report)
     print(
         f"\nwrote {out}: "
         f"{report['summary']['designs_within_slowest_winning_single']}/{len(rows)} designs "
@@ -892,9 +900,7 @@ def write_incremental_report(
             "all_verdicts_match": all_match,
         },
     }
-    with open(out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(out, report)
     print(
         f"\nwrote {out}: {at_or_above_2x}/{len(kind_rows) + len(kiki_rows)} "
         f"engine runs at >=2x session-vs-legacy, verdicts "
@@ -939,9 +945,7 @@ def write_certify_report(
             "all_definitive_validated": all_validated,
         },
     }
-    with open(out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(out, report)
     print(
         f"\nwrote {out}: {total_certified}/{total_definitive} definitive verdicts "
         f"validated ({total_correct} correct), adjudication "
@@ -1219,9 +1223,7 @@ def write_serve_report(
             "serving_targets_met": ok,
         },
     }
-    with open(out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(out, report)
     print(
         f"\nwrote {out}: warm sweep {sweep_summary['warm_speedup']}x "
         f"({'all hits' if sweep_summary['warm_all_hits'] else 'MISSES'}), "
@@ -1268,6 +1270,232 @@ def compact_incremental_rows(rows: List[Dict]) -> List[Dict]:
     return compact
 
 
+# ---------------------------------------------------------------------------
+# --faults: seeded chaos sweeps through the supervised batch runner
+# ---------------------------------------------------------------------------
+
+#: designs for the chaos sweeps: one fast refutation, one fast proof — small
+#: enough that a sweep with kills, hangs and retries still finishes quickly
+DEFAULT_FAULTS_BENCHMARKS = ["daio", "buffalloc"]
+
+#: per-kind firing rates of a chaos sweep; destructive kinds are frequent
+#: enough that every sweep exercises them, but ``first_attempt_only`` plans
+#: let supervised retries run clean so the sweep still converges
+CHAOS_RATES = {
+    "crash": 0.35,
+    "slow-start": 0.5,
+    "worker-kill": 0.35,
+    "hang": 0.25,
+    "hang-hard": 0.25,
+    "spawn-fail": 0.15,
+    "cert-forge": 0.3,
+    "cache-corrupt": 0.5,
+    "cache-truncate": 0.5,
+}
+
+
+def _reap_leaked_children(grace_s: float = 5.0) -> List[int]:
+    """Join any still-registered child processes; return leaked PIDs."""
+    import multiprocessing
+
+    deadline = time.monotonic() + grace_s
+    for child in multiprocessing.active_children():
+        child.join(max(0.0, deadline - time.monotonic()))
+    return [
+        child.pid
+        for child in multiprocessing.active_children()
+        if child.is_alive()
+    ]
+
+
+def run_chaos_sweep(
+    seed: int,
+    names: List[str],
+    bound: int,
+    timeout: float,
+    jobs: Optional[int],
+    cache_dir: str,
+) -> Dict[str, object]:
+    """One seeded fault-injection sweep through the certified batch runner.
+
+    The sweep must end with a definitive, independently validated verdict
+    for every item despite injected kills, crashes, wedges, spawn failures,
+    forged certificates and cache tampering — and must leak no processes.
+    After the sweep, ``fsck`` heals whatever the tamper faults left in the
+    cache; a second ``fsck`` must come back clean.
+    """
+    from repro.cache import ResultCache
+    from repro.engines.batch import BatchItem, BatchRunner
+    from repro.faults.injection import plan_installed
+    from repro.faults.plan import FaultPlan
+
+    items = [BatchItem.benchmark(name) for name in names]
+    plan = FaultPlan(seed=seed, rates=dict(CHAOS_RATES))
+    start = time.perf_counter()
+    with plan_installed(plan):
+        cache = ResultCache(cache_dir, validation_timeout=timeout)
+        runner = BatchRunner(
+            cache=cache,
+            jobs=jobs,
+            timeout=timeout,
+            bound=bound,
+            certify=True,
+            attempt_timeout=max(3.0, timeout / 4.0),
+        )
+        report = runner.run(items)
+    wall = time.perf_counter() - start
+    leaked = _reap_leaked_children()
+
+    rows = report.to_json()["items"]
+    all_definitive = all(row["status"] in Status.DEFINITIVE for row in rows)
+
+    # heal the cache the tamper faults mangled, then prove it stays healed
+    heal = ResultCache(cache_dir, validation_timeout=timeout)
+    fsck_first = heal.fsck()
+    fsck_second = heal.fsck()
+
+    ok = (
+        report.all_correct
+        and all_definitive
+        and not leaked
+        and bool(fsck_second["clean"])
+    )
+    row = {
+        "seed": seed,
+        "wall_s": round(wall, 6),
+        "items": [
+            {
+                "design": item["design"],
+                "property": item["property"],
+                "status": item["status"],
+                "source": item["source"],
+                "attempts": len((item.get("supervision") or {}).get("attempts", [])) or 1,
+            }
+            for item in rows
+        ],
+        "driver_faults_fired": list(plan.fired),
+        "retries": report.retries,
+        "degraded": report.degraded,
+        "all_correct": report.all_correct,
+        "all_definitive": all_definitive,
+        "leaked_pids": leaked,
+        "fsck": {
+            "first": {
+                "checked": fsck_first["checked"],
+                "pruned": len(fsck_first["pruned"]),
+                "quarantined": len(fsck_first["quarantined"]),
+            },
+            "second_clean": bool(fsck_second["clean"]),
+        },
+        "ok": ok,
+    }
+    print(
+        f"chaos seed {seed}: {len(rows)} items in {wall:.3f}s, "
+        f"{report.retries} retries, {report.degraded} degraded, "
+        f"verdicts {'OK' if report.all_correct else 'WRONG'}"
+        f"{'' if all_definitive else ' (non-definitive!)'}, "
+        f"fsck pruned {row['fsck']['first']['pruned']} / quarantined "
+        f"{row['fsck']['first']['quarantined']}, "
+        f"leaked {leaked or 'none'}"
+    )
+    return row
+
+
+def run_hang_interrupt_demo(timeout: float) -> Dict[str, object]:
+    """Wedge a SAT solve in-process; the cooperative deadline must break it.
+
+    A ``hang``-only plan arms the solver wedge inside a driver-process
+    ``verify`` call.  The wedge spins until the engine's armed deadline
+    passes, the next checkpoint raises ``SolverInterrupted``, and the engine
+    returns a TIMEOUT verdict — the process itself must survive (same PID,
+    no exception), which is the acceptance path for hangs injected into
+    in-process (degraded) execution.
+    """
+    from repro.faults.injection import plan_installed
+    from repro.faults.plan import HANG, FaultPlan
+
+    system = get_benchmark("buffalloc").load()
+    budget = min(2.0, timeout)
+    pid = os.getpid()
+    start = time.perf_counter()
+    with plan_installed(FaultPlan(seed=0, rates={HANG: 1.0})):
+        engine = make_engine("k-induction", system, max_k=16)
+        result = engine.verify(timeout=budget)
+    wall = time.perf_counter() - start
+    row = {
+        "design": "buffalloc",
+        "engine": "k-induction",
+        "budget_s": budget,
+        "wall_s": round(wall, 6),
+        "status": str(result.status),
+        "pid_preserved": os.getpid() == pid,
+        "interrupted_within_budget": wall < budget + 2.0,
+        "ok": (
+            os.getpid() == pid
+            and wall < budget + 2.0
+            and result.status not in (Status.SAFE, Status.UNSAFE)
+        ),
+    }
+    print(
+        f"hang demo: wedged k-induction on buffalloc interrupted after "
+        f"{wall:.3f}s (budget {budget:.1f}s), verdict {result.status}, "
+        f"process survived: {row['pid_preserved']}"
+    )
+    return row
+
+
+def write_faults_report(
+    sweeps: List[Dict],
+    hang_demo: Dict[str, object],
+    out: str,
+    bound: int,
+    timeout: float,
+) -> bool:
+    all_ok = all(row["ok"] for row in sweeps) and bool(hang_demo["ok"])
+    report = {
+        "config": {
+            "mode": "faults",
+            "cpus": os.cpu_count(),
+            "bound": bound,
+            "timeout_s": timeout,
+            "rates": CHAOS_RATES,
+        },
+        # "chaos_sweeps", not "sweeps": the serve report uses "sweeps" for a
+        # mapping and learn_priors scans every BENCH_*.json it finds
+        "chaos_sweeps": sweeps,
+        "hang_interrupt_demo": hang_demo,
+        "summary": {
+            "sweeps": len(sweeps),
+            "sweeps_ok": sum(1 for row in sweeps if row["ok"]),
+            "total_retries": sum(row["retries"] for row in sweeps),
+            "total_degraded": sum(row["degraded"] for row in sweeps),
+            "zero_wrong_verdicts": all(row["all_correct"] for row in sweeps),
+            "all_verdicts_definitive": all(
+                row["all_definitive"] for row in sweeps
+            ),
+            "zero_leaked_processes": all(
+                not row["leaked_pids"] for row in sweeps
+            ),
+            "caches_healed": all(
+                row["fsck"]["second_clean"] for row in sweeps
+            ),
+            "hang_interrupted_in_process": bool(hang_demo["ok"]),
+            "all_ok": all_ok,
+        },
+    }
+    write_json_atomic(out, report)
+    summary = report["summary"]
+    print(
+        f"\nwrote {out}: {summary['sweeps_ok']}/{summary['sweeps']} chaos "
+        f"sweeps clean ({summary['total_retries']} retries, "
+        f"{summary['total_degraded']} degraded), verdicts "
+        f"{'all correct+definitive' if summary['zero_wrong_verdicts'] and summary['all_verdicts_definitive'] else 'NOT CLEAN'}, "
+        f"leaks {'none' if summary['zero_leaked_processes'] else 'LEAKED'}, "
+        f"hang demo {'ok' if summary['hang_interrupted_in_process'] else 'FAILED'}"
+    )
+    return all_ok
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -1304,6 +1532,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="serving mode: cold/warm cache sweeps over the suite through the "
              "batch runner, budget-ladder vs all-at-once fan-out races, and "
              "SAFE-certificate minimization timings",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="chaos mode: seeded fault-injection sweeps through the "
+             "supervised batch runner, gating on zero wrong verdicts, zero "
+             "leaked processes, and self-healing caches",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3,
+        help="--faults: number of seeded chaos sweeps (seeds 0..N-1)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -1354,9 +1592,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if sum(map(bool, (args.portfolio, args.certify, args.incremental, args.serve))) > 1:
+    modes = (args.portfolio, args.certify, args.incremental, args.serve, args.faults)
+    if sum(map(bool, modes)) > 1:
         parser.error(
-            "--portfolio, --certify, --incremental and --serve are mutually exclusive"
+            "--portfolio, --certify, --incremental, --serve and --faults "
+            "are mutually exclusive"
+        )
+
+    if args.faults:
+        bound = args.depth if args.depth is not None else 80
+        names = args.benchmarks if args.benchmarks else DEFAULT_FAULTS_BENCHMARKS
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        if args.seeds < 1:
+            parser.error("--seeds must be >= 1")
+        import tempfile
+
+        sweeps = []
+        for seed in range(args.seeds):
+            cache_dir = (
+                os.path.join(args.cache_dir, f"seed{seed}")
+                if args.cache_dir is not None
+                else tempfile.mkdtemp(prefix=f"repro-chaos-cache-{seed}-")
+            )
+            sweeps.append(
+                run_chaos_sweep(
+                    seed, names, bound, args.timeout, args.jobs, cache_dir
+                )
+            )
+        hang_demo = run_hang_interrupt_demo(args.timeout)
+        out = args.out or "BENCH_faults.json"
+        return (
+            0
+            if write_faults_report(sweeps, hang_demo, out, bound, args.timeout)
+            else 1
         )
 
     if args.serve:
@@ -1476,9 +1746,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "all_verdicts_match": all_match,
         },
     }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    write_json_atomic(args.out, report)
     print(
         f"\nwrote {args.out}: "
         f"{report['summary']['benchmarks_at_or_above_3x']}/{len(speedups)} BMC "

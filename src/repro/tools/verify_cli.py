@@ -61,6 +61,7 @@ from repro.engines import (
     make_engine,
 )
 from repro.engines.portfolio import bound_options
+from repro.jsonio import write_text_atomic
 
 #: exit codes by final status (0 = validated expected verdict, 2 = WRONG,
 #: 3 = inconclusive/error), so CI scripts can gate on the result category
@@ -232,8 +233,7 @@ def _save_certificate(path: str, task: VerificationTask, result) -> None:
     if certificate is None:
         print(f"no certificate to save for {task.name!r}")
         return
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(certificate_dumps(certificate))
+    write_text_atomic(path, certificate_dumps(certificate))
     print(f"wrote certificate {path}")
     if isinstance(certificate, Witness):
         from repro.aig import aig_from_transition_system
@@ -244,8 +244,7 @@ def _save_certificate(path: str, task: VerificationTask, result) -> None:
         except Exception as error:  # noqa: BLE001 - AIG lowering failures
             print(f"cannot export AIGER stimulus: {error}")
             return
-        with open(cex_path, "w", encoding="utf-8") as handle:
-            handle.write(certificate.to_aiger_stimulus(aig))
+        write_text_atomic(cex_path, certificate.to_aiger_stimulus(aig))
         print(f"wrote AIGER stimulus {cex_path}")
 
 
