@@ -216,8 +216,10 @@ class AIG:
         results: List[Dict[str, bool]] = []
         for inputs in input_sequence:
             values = self.evaluate(inputs, latch_values)
+            # bad entries last: a bad output and a plain output may share a
+            # property's name, and the documented value is the *bad* one
             results.append(
-                {name: self.literal_value(lit, values) for name, lit in self.bad + self.outputs}
+                {name: self.literal_value(lit, values) for name, lit in self.outputs + self.bad}
             )
             latch_values = {
                 latch.literal: self.literal_value(latch.next_literal, values)

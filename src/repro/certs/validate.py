@@ -96,14 +96,43 @@ class ValidationResult:
         }
 
 
-class CertificateValidator:
-    """Discharges certificate obligations against one transition system."""
+#: witness replay backends: the scalar reference interpreter, or the
+#: bit-parallel packed simulator cross-checked against it
+REPLAY_BACKENDS = ("scalar", "packed")
 
-    def __init__(self, system: TransitionSystem, timeout: Optional[float] = None) -> None:
+#: how many leading cycles of a packed replay are re-run scalar by default
+DEFAULT_CROSSCHECK_CYCLES = 8
+
+
+class CertificateValidator:
+    """Discharges certificate obligations against one transition system.
+
+    ``replay_backend`` selects how witnesses are replayed: ``"scalar"``
+    (default) uses the reference interpreter; ``"packed"`` uses the
+    bit-parallel simulator and adds a ``replay-crosscheck`` obligation that
+    re-runs the first ``crosscheck_cycles`` cycles through the scalar
+    interpreter and fails on any per-cycle divergence — the packed verdict
+    is never trusted without scalar agreement on the checked prefix.
+    """
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        timeout: Optional[float] = None,
+        replay_backend: str = "scalar",
+        crosscheck_cycles: int = DEFAULT_CROSSCHECK_CYCLES,
+    ) -> None:
+        if replay_backend not in REPLAY_BACKENDS:
+            raise ValueError(
+                f"unknown replay backend {replay_backend!r}; "
+                f"expected one of {REPLAY_BACKENDS}"
+            )
         self.system = system
         self.flat = system.flattened()
         self.flat.validate()
         self.timeout = timeout
+        self.replay_backend = replay_backend
+        self.crosscheck_cycles = crosscheck_cycles
         self._deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -155,13 +184,18 @@ class CertificateValidator:
 
         # replay the full trace and evaluate the *claimed* property per cycle
         # (another property failing earlier must not mask the violation)
-        trace = replay(self.system, witness.input_sequence())
-        observed_cycle = None
-        for step in trace.steps:
-            env = {**step.state, **step.inputs, **step.wires}
-            if evaluate(prop.expr, env) == 0:
-                observed_cycle = step.cycle
-                break
+        if self.replay_backend == "packed":
+            observed_cycle = self._packed_replay(result, witness, prop.name)
+            if result.failed_obligations():
+                return result
+        else:
+            trace = replay(self.system, witness.input_sequence())
+            observed_cycle = None
+            for step in trace.steps:
+                env = {**step.state, **step.inputs, **step.wires}
+                if evaluate(prop.expr, env) == 0:
+                    observed_cycle = step.cycle
+                    break
         if observed_cycle is None:
             result.reason = (
                 f"replay never violates {witness.property_name!r} "
@@ -174,6 +208,48 @@ class CertificateValidator:
         result.ok = True
         result.reason = note
         return result
+
+    def _packed_replay(
+        self, result: ValidationResult, witness: Witness, property_name: str
+    ) -> Optional[int]:
+        """Replay the witness bit-parallel; cross-check a prefix scalar.
+
+        Appends the ``replay-crosscheck`` obligation to ``result`` and
+        returns the first cycle at which the claimed property evaluates to 0
+        (``None`` if it never does).  The property is read off the raw truth
+        plane rather than the constraint-alive mask so the packed path agrees
+        exactly with the scalar path above, which also ignores constraints
+        during witness replay.
+        """
+        from repro.netlist.bitsim import (
+            PackedSimulator,
+            SimulationMismatch,
+            crosscheck_lane,
+        )
+
+        simulator = PackedSimulator(self.system, lanes=1)
+        run = simulator.replay(witness.input_sequence())
+        try:
+            compared = crosscheck_lane(
+                self.system, run, lane=0, cycles=self.crosscheck_cycles
+            )
+        except SimulationMismatch as mismatch:
+            result.reason = f"packed/scalar replay divergence: {mismatch}"
+            result.obligations.append(
+                Obligation("replay-crosscheck", FAILED, str(mismatch))
+            )
+            return None
+        result.obligations.append(
+            Obligation(
+                "replay-crosscheck",
+                HOLDS,
+                f"first {compared} cycles agree with the scalar interpreter",
+            )
+        )
+        for cycle in range(run.cycles):
+            if (run.prop_values[cycle][property_name] & 1) == 0:
+                return cycle
+        return None
 
     # ------------------------------------------------------------------
     # expression stamping (independent of the engines' frame encoder)
@@ -396,14 +472,28 @@ _KINDS_FOR_STATUS = {
 
 
 def validate_certificate(
-    system: TransitionSystem, certificate, timeout: Optional[float] = None
+    system: TransitionSystem,
+    certificate,
+    timeout: Optional[float] = None,
+    replay_backend: str = "scalar",
+    crosscheck_cycles: int = DEFAULT_CROSSCHECK_CYCLES,
 ) -> ValidationResult:
     """Validate one certificate against a design."""
-    return CertificateValidator(system, timeout=timeout).validate(certificate)
+    validator = CertificateValidator(
+        system,
+        timeout=timeout,
+        replay_backend=replay_backend,
+        crosscheck_cycles=crosscheck_cycles,
+    )
+    return validator.validate(certificate)
 
 
 def validate_result(
-    system: TransitionSystem, result, timeout: Optional[float] = None
+    system: TransitionSystem,
+    result,
+    timeout: Optional[float] = None,
+    replay_backend: str = "scalar",
+    crosscheck_cycles: int = DEFAULT_CROSSCHECK_CYCLES,
 ) -> ValidationResult:
     """Validate the certificate attached to a :class:`VerificationResult`.
 
@@ -441,4 +531,10 @@ def validate_result(
                 f"justify a {status} verdict"
             ),
         )
-    return validate_certificate(system, certificate, timeout=timeout)
+    return validate_certificate(
+        system,
+        certificate,
+        timeout=timeout,
+        replay_backend=replay_backend,
+        crosscheck_cycles=crosscheck_cycles,
+    )

@@ -30,6 +30,7 @@ from repro.engines.predabs import PredicateAbstractionEngine
 from repro.engines.absint import AbstractInterpretationEngine
 from repro.engines.kiki import KikiEngine
 from repro.engines.oracle import OracleEngine
+from repro.engines.rsim import RandomSimulationEngine
 from repro.engines.registry import (
     ENGINE_REGISTRY,
     EngineRegistration,
@@ -73,6 +74,7 @@ __all__ = [
     "AbstractInterpretationEngine",
     "KikiEngine",
     "OracleEngine",
+    "RandomSimulationEngine",
     "ENGINE_REGISTRY",
     "EngineRegistration",
     "get_registration",

@@ -47,6 +47,7 @@ class KikiEngine(Engine):
         use_intervals: bool = True,
         incremental_template: bool = True,
         persistent_session: bool = True,
+        sim_filter: bool = True,
     ) -> None:
         super().__init__(system)
         self.max_k = max_k
@@ -55,6 +56,8 @@ class KikiEngine(Engine):
         self.use_intervals = use_intervals
         self.incremental_template = incremental_template
         self.persistent_session = persistent_session
+        self.sim_filter = sim_filter
+        self._sim_dropped = 0
 
     def verify(
         self, property_name: Optional[str] = None, timeout: Optional[float] = None
@@ -63,6 +66,7 @@ class KikiEngine(Engine):
         property_name = self.default_property(property_name)
         start = time.monotonic()
         self._certification_stats = None
+        self._sim_dropped = 0
 
         # phase 1: infer interval invariants (cheap, template-based)
         invariants: List[Expr] = []
@@ -105,7 +109,12 @@ class KikiEngine(Engine):
         certificate = result.certificate
         if certificate is not None:
             certificate = dataclasses.replace(certificate, engine=self.name)
-        detail = {**result.detail, **interval_detail, "certified_invariants": len(invariants)}
+        detail = {
+            **result.detail,
+            **interval_detail,
+            "certified_invariants": len(invariants),
+            "sim_filtered_invariants": self._sim_dropped,
+        }
         if self._certification_stats is not None:
             # fold the certification session's counters into the inner run's
             from repro.sat.solver import SolverStats
@@ -145,6 +154,16 @@ class KikiEngine(Engine):
         flat = flattened_cached(self.system)
         init_env = {name: evaluate(expr, {}) for name, expr in flat.init.items()}
         certified = [inv for inv in certified if evaluate(inv, init_env) == 1]
+
+        # cheap bit-parallel screen: a candidate false on any *sampled*
+        # reachable state cannot be an invariant, so drop it before the SAT
+        # loop pays induction queries for it (strictly sound — the screen can
+        # only remove candidates the solver would have had to drop anyway)
+        if self.sim_filter and certified:
+            from repro.netlist.bitsim import ReachabilitySampler
+
+            sampler = ReachabilitySampler(self.system)
+            certified, self._sim_dropped = sampler.screen_invariants(certified)
 
         session: Optional[FrameEncoder] = None
         if self.persistent_session and certified:

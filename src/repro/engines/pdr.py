@@ -50,12 +50,16 @@ class PDREngine(Engine):
         representation: str = "word",
         generalize_passes: int = 1,
         incremental_template: bool = True,
+        sim_filter: bool = True,
     ) -> None:
         super().__init__(system)
         self.max_frames = max_frames
         self.representation = representation
         self.generalize_passes = generalize_passes
         self.incremental_template = incremental_template
+        self.sim_filter = sim_filter
+        self._sampler = None
+        self._sim_skips = 0
 
     # ------------------------------------------------------------------
     def verify(
@@ -90,6 +94,13 @@ class PDREngine(Engine):
         flat = encoder.flat
         self._state_widths = dict(flat.state_vars)
         self._init_values = {name: evaluate(expr, {}) for name, expr in flat.init.items()}
+
+        self._sim_skips = 0
+        self._sampler = None
+        if self.sim_filter:
+            from repro.netlist.bitsim import ReachabilitySampler
+
+            self._sampler = ReachabilitySampler(self.system)
 
         # transition relation between frame 0 (current) and frame 1 (next)
         encoder.assert_trans(0)
@@ -172,6 +183,7 @@ class PDREngine(Engine):
                         "invariant_clauses": sum(
                             len(self._frames[j]) for j in range(fixpoint_at, len(self._frames))
                         ),
+                        "sim_generalize_skips": self._sim_skips,
                     },
                     reason="inductive invariant found",
                     certificate=InductiveCertificate(
@@ -322,6 +334,15 @@ class PDREngine(Engine):
                     break
                 candidate = frozenset(current - {literal})
                 if self._intersects_init(candidate):
+                    continue
+                # bit-parallel screen: if a sampled reachable state satisfies
+                # the widened cube, blocking it would over-generalize into the
+                # reachable set and be repaired later — skip the induction
+                # query and keep the literal (purely a query-saving heuristic;
+                # the kept cube is strictly stronger, so soundness is
+                # unaffected either way)
+                if self._sampler is not None and self._sampler.satisfies_cube(candidate):
+                    self._sim_skips += 1
                     continue
                 if self._relative_induction_query(candidate, level) is None:
                     current.discard(literal)

@@ -24,6 +24,7 @@ from repro.engines.kinduction import KInductionEngine
 from repro.engines.oracle import OracleEngine
 from repro.engines.pdr import PDREngine
 from repro.engines.predabs import PredicateAbstractionEngine
+from repro.engines.rsim import RandomSimulationEngine
 from repro.netlist import TransitionSystem
 
 
@@ -113,6 +114,16 @@ _REGISTRATIONS: List[EngineRegistration] = [
         summary="interval abstract interpretation (may raise false alarms)",
         # not raced by the all-at-once portfolio (too incomplete to spend a
         # process on), but a near-free first rung for the budget ladder
+        ladder=True,
+    ),
+    EngineRegistration(
+        "rsim",
+        RandomSimulationEngine,
+        aliases=("random-sim", "random-simulation"),
+        summary="bit-parallel random-simulation falsification (refutation only)",
+        # not worth a portfolio process (BMC subsumes it there), but the
+        # cheapest first rung of the budget ladder: milliseconds to a real
+        # scalar-confirmed witness on the shallow-bug designs
         ladder=True,
     ),
     EngineRegistration(

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     CRASH,
     HANG,
     HANG_HARD,
+    KERNEL_MISCOMPILE,
     SLOW_START,
     SPAWN_FAIL,
     WORKER_KILL,
@@ -191,6 +192,17 @@ def fail_spawn(key: str) -> bool:
     """Whether a supervised process spawn should fail at site ``key``."""
     plan = _PLAN
     return plan is not None and plan.decide(SPAWN_FAIL, key, _ATTEMPT)
+
+
+def forge_kernel_output(key: str) -> bool:
+    """Whether a compiled kernel's replay output should be corrupted at ``key``.
+
+    Consulted by :meth:`repro.kernels.ckernel.CompiledKernel.replay_checked`
+    *before* its scalar cross-check runs, so a fired fault exercises the full
+    detect-and-fall-back path rather than bypassing it.
+    """
+    plan = _PLAN
+    return plan is not None and plan.decide(KERNEL_MISCOMPILE, key, _ATTEMPT)
 
 
 def tamper_saved_entry(path: str, key: str, payload: str) -> Optional[str]:

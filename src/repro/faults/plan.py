@@ -31,6 +31,9 @@ CACHE_CORRUPT = "cache-corrupt"
 CACHE_TRUNCATE = "cache-truncate"
 #: flip the engine's verdict and attach a forged certificate (the liar)
 CERT_FORGE = "cert-forge"
+#: corrupt a compiled kernel's replay output (the scalar cross-check must
+#: catch it and demote the query to the pure-Python tier, never change it)
+KERNEL_MISCOMPILE = "kernel-miscompile"
 
 FAULT_KINDS = (
     CRASH,
@@ -42,6 +45,7 @@ FAULT_KINDS = (
     CACHE_CORRUPT,
     CACHE_TRUNCATE,
     CERT_FORGE,
+    KERNEL_MISCOMPILE,
 )
 
 

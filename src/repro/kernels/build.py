@@ -1,0 +1,132 @@
+"""Compiler autodetection and the on-disk kernel build cache.
+
+A kernel build turns one design's generated C step function into a shared
+object loadable through ctypes.  Builds are cached on disk keyed by the
+design's content hash (:func:`repro.cache.key.kernel_key`) so a design is
+compiled at most once per machine per semantic revision; the ``.c`` source is
+kept next to the ``.so`` for inspection.  Everything degrades gracefully: no
+compiler, an unsupported design (>64-bit signals), or a failing build all
+raise :class:`KernelUnavailable`, which callers treat as "use the pure-Python
+tier" — never as an error.
+
+Environment knobs:
+
+``REPRO_CC``
+    Compiler command for kernel builds (split with shlex, so flags are
+    allowed).  The sentinels ``""``, ``0``, ``none``, ``off`` and ``disabled``
+    disable compilation outright — the no-compiler degradation path, used by
+    CI to prove verdicts do not depend on the native tier.
+``CC``
+    Consulted after ``REPRO_CC``; the conventional override.
+``REPRO_KERNEL_CACHE``
+    Build-cache directory (default ``$XDG_CACHE_HOME/repro/kernels``).
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cache.key import kernel_key
+from repro.netlist import TransitionSystem
+from repro.v2c.codegen import KERNEL_ABI_VERSION, KernelCodeGenerator
+
+#: values of REPRO_CC that disable native compilation entirely
+DISABLED_SENTINELS = ("", "0", "none", "off", "disabled")
+
+_CANDIDATE_COMPILERS = ("cc", "gcc", "clang")
+
+
+class KernelUnavailable(RuntimeError):
+    """A compiled kernel cannot be produced; fall back to pure Python."""
+
+
+def find_compiler() -> Optional[List[str]]:
+    """Resolve the C compiler command, or None when compilation is disabled.
+
+    ``REPRO_CC`` wins (its disable sentinels turn the native tier off even if
+    compilers exist), then ``CC``, then the first of cc/gcc/clang on PATH.
+    """
+    for variable in ("REPRO_CC", "CC"):
+        value = os.environ.get(variable)
+        if value is None:
+            continue
+        if value.strip().lower() in DISABLED_SENTINELS:
+            return None
+        return shlex.split(value)
+    for candidate in _CANDIDATE_COMPILERS:
+        path = shutil.which(candidate)
+        if path:
+            return [path]
+    return None
+
+
+def compiler_available() -> bool:
+    return find_compiler() is not None
+
+
+def default_cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "kernels"
+
+
+def build_kernel(
+    system: TransitionSystem,
+    cache_dir: Optional[Path] = None,
+) -> Path:
+    """Return the path of the design's kernel shared object, building if needed.
+
+    Raises :class:`KernelUnavailable` when no compiler is configured, the
+    design uses features the C backend cannot express, or the build fails.
+    """
+    # the compiler check comes before the cache hit on purpose: with the
+    # native tier disabled (REPRO_CC sentinel) even a prebuilt .so must not
+    # load, or the no-compiler degradation path CI relies on would be a no-op
+    compiler = find_compiler()
+    if compiler is None:
+        raise KernelUnavailable("no C compiler available (or disabled via REPRO_CC)")
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    key = kernel_key(system, KERNEL_ABI_VERSION)
+    so_path = cache_dir / f"{key}.so"
+    if so_path.exists():
+        return so_path
+    try:
+        source = KernelCodeGenerator(system).generate_kernel()
+    except ValueError as error:
+        raise KernelUnavailable(f"design not expressible as a C kernel: {error}") from error
+
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    c_path = cache_dir / f"{key}.c"
+    # suffixes must stay .c/.so — the compiler infers the language from them
+    tmp_c = Path(tempfile.mktemp(dir=cache_dir, suffix=".tmp.c"))
+    tmp_c.write_text(source)
+    tmp_so = Path(tempfile.mktemp(dir=cache_dir, suffix=".tmp.so"))
+    command = compiler + ["-O2", "-shared", "-fPIC", "-o", str(tmp_so), str(tmp_c)]
+    try:
+        completed = subprocess.run(
+            command, capture_output=True, text=True, timeout=120
+        )
+    except (OSError, subprocess.TimeoutExpired) as error:
+        tmp_c.unlink(missing_ok=True)
+        tmp_so.unlink(missing_ok=True)
+        raise KernelUnavailable(f"kernel build failed to run: {error}") from error
+    if completed.returncode != 0:
+        tmp_c.unlink(missing_ok=True)
+        tmp_so.unlink(missing_ok=True)
+        raise KernelUnavailable(
+            f"kernel build failed ({' '.join(command[:1])} exited "
+            f"{completed.returncode}): {completed.stderr.strip()[:500]}"
+        )
+    # atomic publication: the .so appears only fully built, source alongside
+    os.replace(tmp_c, c_path)
+    os.replace(tmp_so, so_path)
+    return so_path

@@ -1,0 +1,947 @@
+"""Bit-parallel (bit-plane) packed simulation of a transition system.
+
+The scalar reference simulator (:mod:`repro.netlist.simulate`) evaluates one
+input vector per expression-tree walk — a pure-Python interpreter loop that
+floors witness replay, random falsification and invariant filtering.  This
+module escapes that floor without leaving Python: every signal of width ``w``
+is represented *transposed*, as a tuple of ``w`` Python ints (bit planes)
+where bit ``i`` of plane ``b`` carries bit ``b`` of lane ``i``'s value.  One
+bitwise int operation then advances all lanes at once — 64 by default, or any
+wider word for parameter sweeps — and the per-design step function is emitted
+once as straight-line Python source (no per-node dispatch, common
+subexpressions bound to temporaries) and ``compile()``d.
+
+Lowering follows the classic bit-parallel recipes: ripple carry/borrow for
+add/sub/compares, shift-and-add multiplication, barrel shifters muxed on the
+shift amount's planes, sign-plane flips for the signed comparisons, and a
+per-lane transpose fallback for the (rare) division operators.
+
+The packed tier is gated by the repo's cross-checked-verdict pattern: lanes
+are spot-checked against the scalar interpreter and any divergence raises
+:class:`SimulationMismatch` — the fast path can never silently change an
+answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exprs import evaluate
+from repro.exprs.nodes import Const, Expr, Op, Var, mask, to_unsigned
+from repro.netlist.simulate import Simulator
+from repro.netlist.transition import TransitionSystem
+from repro.v2c.softnetlist import SoftwareNetlist
+
+#: a packed value: one int per bit of the signal, lane ``i`` at bit ``1 << i``
+Planes = Tuple[int, ...]
+
+DEFAULT_LANES = 64
+
+
+class SimulationMismatch(RuntimeError):
+    """Packed and scalar simulation disagreed — a hard cross-check failure."""
+
+
+# ---------------------------------------------------------------------------
+# packing / unpacking
+# ---------------------------------------------------------------------------
+
+
+def broadcast(value: int, width: int, lane_mask: int) -> Planes:
+    """Pack one scalar value identically into every lane."""
+    value = to_unsigned(int(value), width)
+    return tuple(lane_mask if (value >> b) & 1 else 0 for b in range(width))
+
+
+def pack_values(values: Sequence[int], width: int) -> Planes:
+    """Transpose per-lane scalar values into bit planes (lane ``i`` = value ``i``)."""
+    planes = [0] * width
+    for lane, value in enumerate(values):
+        value = to_unsigned(int(value), width)
+        bit = 1 << lane
+        while value:
+            b = (value & -value).bit_length() - 1
+            planes[b] |= bit
+            value &= value - 1
+    return tuple(planes)
+
+
+def unpack_lane(planes: Planes, lane: int) -> int:
+    """Read one lane's scalar value back out of a packed value."""
+    value = 0
+    for b, plane in enumerate(planes):
+        if (plane >> lane) & 1:
+            value |= 1 << b
+    return value
+
+
+# ---------------------------------------------------------------------------
+# plane-level operator kernels
+# ---------------------------------------------------------------------------
+
+
+def _p_not(a: Planes, m: int) -> Planes:
+    return tuple((~p) & m for p in a)
+
+
+def _p_and(a: Planes, b: Planes) -> Planes:
+    return tuple(x & y for x, y in zip(a, b))
+
+
+def _p_or(a: Planes, b: Planes) -> Planes:
+    return tuple(x | y for x, y in zip(a, b))
+
+
+def _p_xor(a: Planes, b: Planes) -> Planes:
+    return tuple(x ^ y for x, y in zip(a, b))
+
+
+def _p_xnor(a: Planes, b: Planes, m: int) -> Planes:
+    return tuple((~(x ^ y)) & m for x, y in zip(a, b))
+
+
+def _p_nand(a: Planes, b: Planes, m: int) -> Planes:
+    return tuple((~(x & y)) & m for x, y in zip(a, b))
+
+
+def _p_nor(a: Planes, b: Planes, m: int) -> Planes:
+    return tuple((~(x | y)) & m for x, y in zip(a, b))
+
+
+def _p_add(a: Planes, b: Planes, m: int) -> Planes:
+    out = []
+    carry = 0
+    for x, y in zip(a, b):
+        s = x ^ y ^ carry
+        carry = (x & y) | (carry & (x ^ y))
+        out.append(s)
+    return tuple(out)
+
+
+def _p_sub(a: Planes, b: Planes, m: int) -> Planes:
+    out = []
+    borrow = 0
+    for x, y in zip(a, b):
+        out.append(x ^ y ^ borrow)
+        nx = (~x) & m
+        borrow = (nx & (y | borrow)) | (y & borrow)
+    return tuple(out)
+
+
+def _p_neg(a: Planes, m: int) -> Planes:
+    # two's complement: ~a + 1 (the +1 rides in as an all-lanes initial carry)
+    out = []
+    carry = m
+    for x in a:
+        nx = (~x) & m
+        out.append(nx ^ carry)
+        carry = nx & carry
+    return tuple(out)
+
+
+def _p_mul(a: Planes, b: Planes, m: int) -> Planes:
+    width = len(a)
+    acc: Planes = (0,) * width
+    for j, sel in enumerate(b[:width]):
+        if sel == 0:
+            continue
+        addend = tuple((a[k - j] & sel) if k >= j else 0 for k in range(width))
+        acc = _p_add(acc, addend, m)
+    return acc
+
+
+def _p_divmod(a: Planes, b: Planes, m: int, remainder: bool) -> Planes:
+    # rare in netlists: transpose back per lane, divide, re-transpose
+    width = len(a)
+    out = [0] * width
+    lanes = m.bit_length()
+    for lane in range(lanes):
+        av = unpack_lane(a, lane)
+        bv = unpack_lane(b, lane)
+        if remainder:
+            r = av if bv == 0 else av % bv
+        else:
+            r = mask(width) if bv == 0 else av // bv
+        bit = 1 << lane
+        for k in range(width):
+            if (r >> k) & 1:
+                out[k] |= bit
+    return tuple(out)
+
+
+def _p_udiv(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_divmod(a, b, m, remainder=False)
+
+
+def _p_urem(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_divmod(a, b, m, remainder=True)
+
+
+def _p_mux(sel: int, then_v: Planes, else_v: Planes, m: int) -> Planes:
+    nsel = (~sel) & m
+    return tuple((sel & t) | (nsel & e) for t, e in zip(then_v, else_v))
+
+
+def _p_shl(a: Planes, b: Planes, m: int) -> Planes:
+    width = len(a)
+    result = a
+    for j, sel in enumerate(b):
+        amount = 1 << j
+        if amount >= width:
+            shifted: Planes = (0,) * width
+        else:
+            shifted = (0,) * amount + result[: width - amount]
+        result = _p_mux(sel, shifted, result, m)
+    return result
+
+
+def _p_lshr(a: Planes, b: Planes, m: int) -> Planes:
+    width = len(a)
+    result = a
+    for j, sel in enumerate(b):
+        amount = 1 << j
+        if amount >= width:
+            shifted: Planes = (0,) * width
+        else:
+            shifted = result[amount:] + (0,) * amount
+        result = _p_mux(sel, shifted, result, m)
+    return result
+
+
+def _p_ashr(a: Planes, b: Planes, m: int) -> Planes:
+    width = len(a)
+    sign = a[width - 1]
+    result = a
+    for j, sel in enumerate(b):
+        amount = 1 << j
+        if amount >= width:
+            shifted: Planes = (sign,) * width
+        else:
+            shifted = result[amount:] + (sign,) * amount
+        result = _p_mux(sel, shifted, result, m)
+    return result
+
+
+def _p_ne(a: Planes, b: Planes) -> Planes:
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return (diff,)
+
+
+def _p_eq(a: Planes, b: Planes, m: int) -> Planes:
+    return ((~_p_ne(a, b)[0]) & m,)
+
+
+def _p_ult(a: Planes, b: Planes, m: int) -> Planes:
+    borrow = 0
+    for x, y in zip(a, b):
+        nx = (~x) & m
+        borrow = (nx & (y | borrow)) | (y & borrow)
+    return (borrow,)
+
+
+def _p_ule(a: Planes, b: Planes, m: int) -> Planes:
+    return ((~_p_ult(b, a, m)[0]) & m,)
+
+
+def _p_ugt(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_ult(b, a, m)
+
+
+def _p_uge(a: Planes, b: Planes, m: int) -> Planes:
+    return ((~_p_ult(a, b, m)[0]) & m,)
+
+
+def _p_flip_sign(a: Planes, m: int) -> Planes:
+    return a[:-1] + (a[-1] ^ m,)
+
+
+def _p_slt(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_ult(_p_flip_sign(a, m), _p_flip_sign(b, m), m)
+
+
+def _p_sle(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_ule(_p_flip_sign(a, m), _p_flip_sign(b, m), m)
+
+
+def _p_sgt(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_ugt(_p_flip_sign(a, m), _p_flip_sign(b, m), m)
+
+
+def _p_sge(a: Planes, b: Planes, m: int) -> Planes:
+    return _p_uge(_p_flip_sign(a, m), _p_flip_sign(b, m), m)
+
+
+def _p_redand(a: Planes, m: int) -> Planes:
+    acc = m
+    for p in a:
+        acc &= p
+    return (acc,)
+
+
+def _p_redor(a: Planes) -> Planes:
+    acc = 0
+    for p in a:
+        acc |= p
+    return (acc,)
+
+
+def _p_redxor(a: Planes) -> Planes:
+    acc = 0
+    for p in a:
+        acc ^= p
+    return (acc,)
+
+
+def _p_ite(c: Planes, t: Planes, e: Planes, m: int) -> Planes:
+    return _p_mux(c[0], t, e, m)
+
+
+#: globals visible to the generated step function
+_STEP_GLOBALS = {
+    "_p_not": _p_not,
+    "_p_and": _p_and,
+    "_p_or": _p_or,
+    "_p_xor": _p_xor,
+    "_p_xnor": _p_xnor,
+    "_p_nand": _p_nand,
+    "_p_nor": _p_nor,
+    "_p_add": _p_add,
+    "_p_sub": _p_sub,
+    "_p_neg": _p_neg,
+    "_p_mul": _p_mul,
+    "_p_udiv": _p_udiv,
+    "_p_urem": _p_urem,
+    "_p_shl": _p_shl,
+    "_p_lshr": _p_lshr,
+    "_p_ashr": _p_ashr,
+    "_p_eq": _p_eq,
+    "_p_ne": _p_ne,
+    "_p_ult": _p_ult,
+    "_p_ule": _p_ule,
+    "_p_ugt": _p_ugt,
+    "_p_uge": _p_uge,
+    "_p_slt": _p_slt,
+    "_p_sle": _p_sle,
+    "_p_sgt": _p_sgt,
+    "_p_sge": _p_sge,
+    "_p_redand": _p_redand,
+    "_p_redor": _p_redor,
+    "_p_redxor": _p_redxor,
+    "_p_ite": _p_ite,
+}
+
+
+# ---------------------------------------------------------------------------
+# generic packed expression evaluation (interpretive; used by the sampler
+# screens and as the reference for the generated step code)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_packed(expr: Expr, env: Mapping[str, Planes], lane_mask: int) -> Planes:
+    """Evaluate ``expr`` over packed planes, all lanes at once."""
+    cache: Dict[int, Planes] = {}
+
+    def rec(node: Expr) -> Planes:
+        key = id(node)
+        if key in cache:
+            return cache[key]
+        value = _eval_packed_node(node, env, lane_mask, rec)
+        cache[key] = value
+        return value
+
+    return rec(expr)
+
+
+_BINARY_PLAIN = {"and": _p_and, "or": _p_or, "xor": _p_xor, "ne": _p_ne}
+_BINARY_MASKED = {
+    "xnor": _p_xnor,
+    "nand": _p_nand,
+    "nor": _p_nor,
+    "add": _p_add,
+    "sub": _p_sub,
+    "mul": _p_mul,
+    "udiv": _p_udiv,
+    "urem": _p_urem,
+    "shl": _p_shl,
+    "lshr": _p_lshr,
+    "ashr": _p_ashr,
+    "eq": _p_eq,
+    "ult": _p_ult,
+    "ule": _p_ule,
+    "ugt": _p_ugt,
+    "uge": _p_uge,
+    "slt": _p_slt,
+    "sle": _p_sle,
+    "sgt": _p_sgt,
+    "sge": _p_sge,
+}
+
+
+def _eval_packed_node(
+    node: Expr, env: Mapping[str, Planes], m: int, rec: Callable[[Expr], Planes]
+) -> Planes:
+    if isinstance(node, Const):
+        return broadcast(node.value, node.width, m)
+    if isinstance(node, Var):
+        planes = env.get(node.name)
+        if planes is None:
+            raise KeyError(f"unbound packed variable {node.name!r}")
+        return planes
+    assert isinstance(node, Op)
+    op = node.op
+    if op in _BINARY_PLAIN:
+        return _BINARY_PLAIN[op](rec(node.args[0]), rec(node.args[1]))
+    if op in _BINARY_MASKED:
+        return _BINARY_MASKED[op](rec(node.args[0]), rec(node.args[1]), m)
+    if op == "not":
+        return _p_not(rec(node.args[0]), m)
+    if op == "neg":
+        return _p_neg(rec(node.args[0]), m)
+    if op == "redand":
+        return _p_redand(rec(node.args[0]), m)
+    if op == "redor":
+        return _p_redor(rec(node.args[0]))
+    if op == "redxor":
+        return _p_redxor(rec(node.args[0]))
+    if op == "concat":
+        planes: Tuple[int, ...] = ()
+        for arg in reversed(node.args):  # last argument is least significant
+            planes = planes + rec(arg)
+        return planes
+    if op == "extract":
+        hi, lo = node.params
+        return rec(node.args[0])[lo : hi + 1]
+    if op == "zext":
+        inner = rec(node.args[0])
+        return inner + (0,) * (node.width - len(inner))
+    if op == "sext":
+        inner = rec(node.args[0])
+        return inner + (inner[-1],) * (node.width - len(inner))
+    if op == "ite":
+        return _p_ite(rec(node.args[0]), rec(node.args[1]), rec(node.args[2]), m)
+    raise ValueError(f"unhandled packed operator {op!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# per-design step compilation
+# ---------------------------------------------------------------------------
+
+
+class _StepCompiler:
+    """Emits the straight-line packed step function of one design.
+
+    Shared subtrees are bound to one temporary (memoized by node identity),
+    constants are broadcast once at compile time, and width-changing operators
+    (extract/zext/sext/concat, constant shifts) become tuple-slicing literals
+    — the generated function contains no expression-tree dispatch at all.
+    """
+
+    def __init__(self, netlist: SoftwareNetlist, lane_mask: int) -> None:
+        self.netlist = netlist
+        self.m = lane_mask
+        self.lines: List[str] = []
+        self.temps: Dict[int, str] = {}
+        self.signals: Dict[str, str] = {}  # signal name -> bound temp
+        self.consts: Dict[Tuple[int, int], str] = {}
+        self.globals: Dict[str, object] = dict(_STEP_GLOBALS)
+        self.globals["M"] = lane_mask
+        self.counter = 0
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"t{self.counter}"
+
+    def const_name(self, value: int, width: int) -> str:
+        key = (value, width)
+        if key not in self.consts:
+            name = f"K{len(self.consts)}"
+            self.consts[key] = name
+            self.globals[name] = broadcast(value, width, self.m)
+        return self.consts[key]
+
+    def emit(self, expr: Expr) -> str:
+        key = id(expr)
+        if key in self.temps:
+            return self.temps[key]
+        name = self._emit_node(expr)
+        self.temps[key] = name
+        return name
+
+    def _bind(self, code: str) -> str:
+        name = self.fresh()
+        self.lines.append(f"    {name} = {code}")
+        return name
+
+    def _emit_node(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return self.const_name(node.value, node.width)
+        if isinstance(node, Var):
+            temp = self.signals.get(node.name)
+            if temp is None:
+                raise KeyError(f"unbound signal {node.name!r} in step compilation")
+            return temp
+        assert isinstance(node, Op)
+        op = node.op
+        args = node.args
+        if op in _BINARY_PLAIN:
+            return self._bind(f"_p_{op}({self.emit(args[0])}, {self.emit(args[1])})")
+        if op in ("shl", "lshr", "ashr") and isinstance(args[1], Const):
+            return self._static_shift(op, args[0], args[1].value)
+        if op in _BINARY_MASKED:
+            return self._bind(
+                f"_p_{op}({self.emit(args[0])}, {self.emit(args[1])}, M)"
+            )
+        if op in ("not", "neg", "redand"):
+            return self._bind(f"_p_{op}({self.emit(args[0])}, M)")
+        if op in ("redor", "redxor"):
+            return self._bind(f"_p_{op}({self.emit(args[0])})")
+        if op == "concat":
+            parts = [self.emit(arg) for arg in reversed(args)]
+            return self._bind(" + ".join(parts))
+        if op == "extract":
+            hi, lo = node.params
+            return self._bind(f"{self.emit(args[0])}[{lo}:{hi + 1}]")
+        if op == "zext":
+            extra = node.width - args[0].width
+            return self._bind(f"{self.emit(args[0])} + {(0,) * extra!r}")
+        if op == "sext":
+            extra = node.width - args[0].width
+            inner = self.emit(args[0])
+            return self._bind(f"{inner} + ({inner}[-1],) * {extra}")
+        if op == "ite":
+            return self._bind(
+                f"_p_ite({self.emit(args[0])}, {self.emit(args[1])}, "
+                f"{self.emit(args[2])}, M)"
+            )
+        raise ValueError(f"cannot compile operator {op!r}")  # pragma: no cover
+
+    def _static_shift(self, op: str, operand: Expr, amount: int) -> str:
+        width = operand.width
+        inner = self.emit(operand)
+        if op == "shl":
+            if amount >= width:
+                return self._bind(f"{(0,) * width!r}")
+            return self._bind(f"{(0,) * amount!r} + {inner}[:{width - amount}]")
+        if op == "lshr":
+            if amount >= width:
+                return self._bind(f"{(0,) * width!r}")
+            return self._bind(f"{inner}[{amount}:] + {(0,) * amount!r}")
+        # ashr: fill with the sign plane
+        fill = min(amount, width)
+        return self._bind(f"{inner}[{fill}:] + ({inner}[-1],) * {fill}")
+
+    def compile(self) -> Callable:
+        netlist = self.netlist
+        self.lines.append("def _step(S, I):")
+        for name in netlist.registers:
+            temp = self.fresh()
+            self.lines.append(f"    {temp} = S[{name!r}]")
+            self.signals[name] = temp
+        for name in netlist.inputs:
+            temp = self.fresh()
+            self.lines.append(f"    {temp} = I[{name!r}]")
+            self.signals[name] = temp
+        for step_assignment in netlist.assignments:
+            if step_assignment.kind != "wire":
+                continue
+            self.signals[step_assignment.target] = self.emit(step_assignment.expr)
+        next_temps = {
+            name: self.emit(netlist.system.next[name]) for name in netlist.registers
+        }
+        prop_temps = {a.name: self.emit(a.expr) for a in netlist.assertions}
+        cons_temps = [self.emit(expr) for expr in netlist.constraints]
+        next_code = ", ".join(f"{n!r}: {t}" for n, t in next_temps.items())
+        prop_code = ", ".join(f"{n!r}: {t}" for n, t in prop_temps.items())
+        cons_code = ", ".join(cons_temps)
+        if cons_temps:
+            cons_code += ","
+        self.lines.append(f"    return {{{next_code}}}, {{{prop_code}}}, ({cons_code})")
+        source = "\n".join(self.lines)
+        namespace: Dict[str, object] = {}
+        exec(  # noqa: S102 - compiling our own generated step function
+            compile(source, f"<bitsim:{netlist.name}>", "exec"), self.globals, namespace
+        )
+        step = namespace["_step"]
+        step._source = source  # kept for debugging and tests
+        return step
+
+
+def _compile_step(netlist: SoftwareNetlist, lane_mask: int) -> Callable:
+    return _StepCompiler(netlist, lane_mask).compile()
+
+
+# ---------------------------------------------------------------------------
+# the packed simulator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PackedViolation:
+    """First property violation observed by a packed run."""
+
+    property_name: str
+    cycle: int
+    lane: int
+
+
+@dataclass
+class PackedRun:
+    """Everything a packed multi-lane run recorded.
+
+    ``states[c]`` is the packed register state *before* cycle ``c``'s step;
+    ``prop_values[c]`` maps property name to its packed truth plane at cycle
+    ``c`` (bit clear = that lane violates); ``alive[c]`` masks the lanes whose
+    environment constraints held through cycle ``c``.
+    """
+
+    lanes: int
+    inputs: List[Dict[str, Planes]] = field(default_factory=list)
+    states: List[Dict[str, Planes]] = field(default_factory=list)
+    prop_values: List[Dict[str, int]] = field(default_factory=list)
+    alive: List[int] = field(default_factory=list)
+    violation: Optional[PackedViolation] = None
+
+    @property
+    def cycles(self) -> int:
+        return len(self.inputs)
+
+    def lane_inputs(self, lane: int, upto: Optional[int] = None) -> List[Dict[str, int]]:
+        """Extract one lane's scalar input sequence (simulator/witness food)."""
+        end = self.cycles if upto is None else upto + 1
+        return [
+            {name: unpack_lane(planes, lane) for name, planes in cycle.items()}
+            for cycle in self.inputs[:end]
+        ]
+
+    def lane_state(self, cycle: int, lane: int) -> Dict[str, int]:
+        return {
+            name: unpack_lane(planes, lane) for name, planes in self.states[cycle].items()
+        }
+
+    def violated_lanes(self, property_name: str, cycle: int) -> int:
+        """Plane of lanes (still alive) violating ``property_name`` at ``cycle``."""
+        value = self.prop_values[cycle][property_name]
+        return (~value) & self.alive[cycle]
+
+
+class PackedSimulator:
+    """Evaluates 64 (or ``lanes``) independent input vectors per operation.
+
+    The packed simulator shares its evaluation order with the scalar
+    :class:`repro.v2c.softnetlist.SoftwareNetlist` (the single scalar oracle of
+    the fast tiers): wires in topological order, properties and constraints on
+    the pre-update state, registers updated simultaneously.
+    """
+
+    def __init__(self, system: TransitionSystem, lanes: int = DEFAULT_LANES) -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        self.system = system
+        self.netlist = SoftwareNetlist(system)
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self.property_names = [a.name for a in self.netlist.assertions]
+        self._step_fn = _compile_step(self.netlist, self.mask)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.state: Dict[str, Planes] = {
+            name: broadcast(value, self.netlist.registers[name], self.mask)
+            for name, value in self.netlist.initial_values.items()
+        }
+        self.cycle = 0
+
+    def set_lane_states(self, values: Sequence[Mapping[str, int]]) -> None:
+        """Load one scalar state per lane (missing lanes keep the reset state)."""
+        for name, width in self.netlist.registers.items():
+            defaults = self.netlist.initial_values[name]
+            column = [
+                int(values[lane].get(name, defaults)) if lane < len(values) else defaults
+                for lane in range(self.lanes)
+            ]
+            self.state[name] = pack_values(column, width)
+
+    # ------------------------------------------------------------------
+    def step(
+        self, inputs: Optional[Mapping[str, Planes]] = None
+    ) -> Tuple[Dict[str, int], int]:
+        """Advance every lane one cycle.
+
+        Returns ``(property_value_planes, constraint_ok_plane)`` evaluated on
+        the pre-update state, then commits the packed register update.
+        """
+        packed_inputs = self._input_planes(inputs)
+        next_state, prop_planes, cons_planes = self._step_fn(self.state, packed_inputs)
+        constraint_ok = self.mask
+        for plane in cons_planes:
+            constraint_ok &= plane[0]
+        self.state = next_state
+        self.cycle += 1
+        return {name: planes[0] for name, planes in prop_planes.items()}, constraint_ok
+
+    def _input_planes(
+        self, inputs: Optional[Mapping[str, Planes]]
+    ) -> Dict[str, Planes]:
+        packed: Dict[str, Planes] = {}
+        inputs = inputs or {}
+        for name, width in self.netlist.inputs.items():
+            planes = inputs.get(name)
+            packed[name] = planes if planes is not None else (0,) * width
+        return packed
+
+    def random_inputs(self, rng: random.Random) -> Dict[str, Planes]:
+        """One cycle of uniformly random packed inputs (one draw per bit plane)."""
+        return {
+            name: tuple(rng.getrandbits(self.lanes) for _ in range(width))
+            for name, width in self.netlist.inputs.items()
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        input_planes: Sequence[Mapping[str, Planes]],
+        properties: Optional[Sequence[str]] = None,
+        stop_on_violation: bool = True,
+        record: bool = True,
+    ) -> PackedRun:
+        """Run one packed step per element of ``input_planes``.
+
+        Lanes whose environment constraints fail fall out of the ``alive``
+        mask from that cycle on; violations are only reported for lanes whose
+        constraints held through the violating cycle (matching the frame
+        semantics of the SAT engines, which assert the constraints at every
+        frame including the violation frame).
+        """
+        watched = list(properties) if properties is not None else self.property_names
+        run = PackedRun(lanes=self.lanes)
+        alive = self.mask
+        self.reset()
+        for cycle, raw in enumerate(input_planes):
+            packed_inputs = self._input_planes(raw)
+            if record:
+                run.inputs.append(packed_inputs)
+                run.states.append(dict(self.state))
+            prop_planes, constraint_ok = self.step(packed_inputs)
+            alive &= constraint_ok
+            if record:
+                run.prop_values.append(prop_planes)
+                run.alive.append(alive)
+            if run.violation is None:
+                for name in watched:
+                    bad = (~prop_planes[name]) & alive
+                    if bad:
+                        lane = (bad & -bad).bit_length() - 1
+                        run.violation = PackedViolation(name, cycle, lane)
+                        break
+            if run.violation is not None and stop_on_violation:
+                break
+        return run
+
+    def run_random(
+        self,
+        cycles: int,
+        seed: int = 0,
+        properties: Optional[Sequence[str]] = None,
+        stop_on_violation: bool = True,
+    ) -> PackedRun:
+        """Drive every lane with independent uniformly random inputs."""
+        rng = random.Random(seed)
+        sequence = [self.random_inputs(rng) for _ in range(cycles)]
+        return self.run(
+            sequence, properties=properties, stop_on_violation=stop_on_violation
+        )
+
+    def replay(
+        self,
+        input_sequence: Sequence[Mapping[str, int]],
+        properties: Optional[Sequence[str]] = None,
+        record: bool = True,
+    ) -> PackedRun:
+        """Replay one scalar input sequence, broadcast into every lane."""
+        packed = [
+            {
+                name: broadcast(cycle.get(name, 0), width, self.mask)
+                for name, width in self.netlist.inputs.items()
+            }
+            for cycle in input_sequence
+        ]
+        return self.run(
+            packed, properties=properties, stop_on_violation=False, record=record
+        )
+
+    def replay_many(
+        self,
+        sequences: Sequence[Sequence[Mapping[str, int]]],
+        properties: Optional[Sequence[str]] = None,
+        record: bool = True,
+    ) -> PackedRun:
+        """Replay up to ``lanes`` different input sequences, one per lane.
+
+        Shorter sequences pad with all-zero inputs; at most ``lanes``
+        sequences are accepted.
+        """
+        if len(sequences) > self.lanes:
+            raise ValueError(f"{len(sequences)} sequences > {self.lanes} lanes")
+        cycles = max((len(seq) for seq in sequences), default=0)
+        packed: List[Dict[str, Planes]] = []
+        for cycle in range(cycles):
+            cycle_planes: Dict[str, Planes] = {}
+            for name, width in self.netlist.inputs.items():
+                column = [
+                    int(seq[cycle].get(name, 0)) if cycle < len(seq) else 0
+                    for seq in sequences
+                ]
+                cycle_planes[name] = pack_values(column, width)
+            packed.append(cycle_planes)
+        return self.run(
+            packed, properties=properties, stop_on_violation=False, record=record
+        )
+
+
+# ---------------------------------------------------------------------------
+# cross-checking against the scalar oracle
+# ---------------------------------------------------------------------------
+
+
+def crosscheck_lane(
+    system: TransitionSystem,
+    run: PackedRun,
+    lane: int,
+    cycles: Optional[int] = None,
+) -> int:
+    """Replay one lane scalar and compare states + property values per cycle.
+
+    Returns the number of cycles compared; raises :class:`SimulationMismatch`
+    on the first divergence.  This is the hard gate of the cross-checked-
+    verdict pattern: packed results are only trusted where a lane agrees with
+    the scalar interpreter.
+    """
+    end = run.cycles if cycles is None else min(cycles, run.cycles)
+    simulator = Simulator(system)
+    for cycle in range(end):
+        inputs = {
+            name: unpack_lane(planes, lane) for name, planes in run.inputs[cycle].items()
+        }
+        expected = run.lane_state(cycle, lane)
+        for name, value in simulator.state.items():
+            if expected[name] != value:
+                raise SimulationMismatch(
+                    f"{system.name}: lane {lane} register {name!r} diverged at "
+                    f"cycle {cycle}: packed {expected[name]}, scalar {value}"
+                )
+        env = simulator._environment(inputs)
+        for prop in system.properties:
+            packed_value = (run.prop_values[cycle][prop.name] >> lane) & 1
+            scalar_value = 1 if evaluate(prop.expr, env) else 0
+            if packed_value != scalar_value:
+                raise SimulationMismatch(
+                    f"{system.name}: lane {lane} property {prop.name!r} diverged "
+                    f"at cycle {cycle}: packed {packed_value}, scalar {scalar_value}"
+                )
+        simulator.step(inputs)
+    return end
+
+
+# ---------------------------------------------------------------------------
+# reachable-state sampling (candidate-invariant screens for kIkI / PDR)
+# ---------------------------------------------------------------------------
+
+
+class ReachabilitySampler:
+    """Random reachable states, packed for cheap candidate screening.
+
+    A short packed random run harvests distinct register states from lanes
+    whose environment constraints held.  Candidate invariants that evaluate
+    false on any sampled state cannot be invariants, so engines drop them
+    before paying a SAT call; cubes satisfied by a sampled state are skipped
+    during PDR generalization (a pure no-progress query avoided).
+    """
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        lanes: int = DEFAULT_LANES,
+        cycles: int = 64,
+        seed: int = 2016,
+        max_states: int = 256,
+    ) -> None:
+        self.system = system
+        simulator = PackedSimulator(system, lanes=lanes)
+        run = simulator.run_random(cycles, seed=seed, stop_on_violation=False)
+        widths = dict(simulator.netlist.registers)
+        seen: Dict[Tuple[int, ...], Dict[str, int]] = {}
+        order = list(widths)
+        for cycle in range(run.cycles):
+            alive = run.alive[cycle] if cycle else simulator.mask
+            if not alive:
+                break
+            lane_bits = alive
+            while lane_bits and len(seen) < max_states:
+                lane = (lane_bits & -lane_bits).bit_length() - 1
+                lane_bits &= lane_bits - 1
+                state = run.lane_state(cycle, lane)
+                seen.setdefault(tuple(state[name] for name in order), state)
+            if len(seen) >= max_states:
+                break
+        self.states: List[Dict[str, int]] = list(seen.values())
+        self._widths = widths
+        # packed batches for 64-way candidate evaluation
+        self._batches: List[Tuple[int, Dict[str, Planes]]] = []
+        for start in range(0, len(self.states), lanes):
+            chunk = self.states[start : start + lanes]
+            batch_mask = (1 << len(chunk)) - 1
+            planes = {
+                name: pack_values([state[name] for state in chunk], width)
+                for name, width in widths.items()
+            }
+            self._batches.append((batch_mask, planes))
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def screen_invariants(
+        self, candidates: Sequence[Expr]
+    ) -> Tuple[List[Expr], int]:
+        """Partition candidates: (kept, dropped-count).
+
+        A candidate false on any sampled reachable state is dropped — it
+        cannot be an invariant, so the SAT certification call it would have
+        cost is saved outright.
+        """
+        kept: List[Expr] = []
+        dropped = 0
+        for candidate in candidates:
+            holds = True
+            for batch_mask, planes in self._batches:
+                value = evaluate_packed(candidate, planes, batch_mask)
+                if value[0] != batch_mask:
+                    holds = False
+                    break
+            if holds:
+                kept.append(candidate)
+            else:
+                dropped += 1
+        return kept, dropped
+
+    def satisfies_cube(self, cube: Iterable[Tuple[str, int, bool]]) -> bool:
+        """True when some sampled reachable state satisfies every cube literal."""
+        literals = list(cube)
+        for name, bit, _value in literals:
+            width = self._widths.get(name)
+            if width is None or bit >= width:
+                return False  # unknown signal: cannot certify reachability
+        for batch_mask, planes in self._batches:
+            matching = batch_mask
+            for name, bit, value in literals:
+                plane = planes[name][bit]
+                matching &= plane if value else (~plane) & batch_mask
+                if not matching:
+                    break
+            if matching:
+                return True
+        return False

@@ -60,6 +60,19 @@ sweep ends with a definitive, independently validated verdict per item
 (zero WRONGs), no leaked worker processes, ``fsck`` heals every tampered
 cache, and a hang wedged into an in-process SAT solve is broken by the
 cooperative deadline without killing the process.
+
+``--kernels`` measures the raw-speed replay tiers: per design, one random
+workload (``--lanes`` sequences x ``--cycles`` cycles) is replayed through
+the scalar reference interpreter, the bit-parallel packed simulator
+(:mod:`repro.netlist.bitsim`) and the compiled C kernel
+(:mod:`repro.kernels`), with input marshalling excluded from the timed
+region so the numbers compare steady-state stepping throughput.
+``BENCH_kernels.json`` gates on: packed >= ``--packed-gate`` x scalar on at
+least 3 designs, compiled >= ``--kernel-gate`` x packed on at least 3
+designs (waived when no C compiler is available), 100 % verdict agreement
+between :func:`repro.kernels.checked_replay` and the scalar reference, and
+the rsim falsifier finding and packed-validating a witness on every unsafe
+suite design.
 """
 
 from __future__ import annotations
@@ -1496,6 +1509,275 @@ def write_faults_report(
     return all_ok
 
 
+# ---------------------------------------------------------------------------
+# --kernels: the raw-speed replay tiers (scalar / packed / compiled)
+# ---------------------------------------------------------------------------
+
+
+def _random_workload(system, cycles: int, lanes: int, seed: int = 2016):
+    """``lanes`` independent random input sequences of ``cycles`` cycles."""
+    import random as random_module
+
+    rng = random_module.Random(seed)
+    return [
+        [
+            {name: rng.getrandbits(width) for name, width in system.inputs.items()}
+            for _ in range(cycles)
+        ]
+        for _ in range(lanes)
+    ]
+
+
+def run_kernels_section(
+    names: List[str], cycles: int, lanes: int, repeats: int = 3
+) -> List[Dict]:
+    """Time the three replay tiers per design on one identical random workload.
+
+    Methodology: the workload is ``lanes`` independent input sequences of
+    ``cycles`` cycles each.  Input marshalling (packing bit planes, flattening
+    the C input array) happens once *outside* the timed region, so the numbers
+    compare steady-state stepping throughput — the regime that matters for the
+    rsim falsifier and bulk witness replay, where one packing is amortized
+    over many runs.  The scalar tier steps every sequence through the
+    reference :class:`~repro.netlist.simulate.Simulator`; the packed tier runs
+    all ``lanes`` sequences in one bit-parallel pass; the compiled tier runs
+    the C replay loop once per sequence.  The scalar tier is timed once and
+    the fast tiers keep their best of ``repeats`` runs, which only ever
+    *understates* the reported speedups.
+
+    Each row also records a verdict-agreement check: a sample of the
+    sequences is replayed through :func:`repro.kernels.checked_replay` (the
+    production tier ladder) and through the pure scalar reference, and the
+    (first violation cycle, property) pairs must match exactly.
+    """
+    from repro.kernels import _scalar_replay, checked_replay, get_kernel
+    from repro.kernels.build import KernelUnavailable, compiler_available
+    from repro.netlist.bitsim import PackedSimulator, pack_values
+    from repro.netlist.simulate import Simulator
+
+    rows: List[Dict] = []
+    for name in names:
+        system = get_benchmark(name).load()
+        sequences = _random_workload(system, cycles, lanes)
+
+        start = time.perf_counter()
+        for sequence in sequences:
+            Simulator(system).run(sequence, stop_on_violation=False)
+        scalar_s = time.perf_counter() - start
+
+        packed = PackedSimulator(system, lanes=lanes)
+        planes = [
+            {
+                input_name: pack_values(
+                    [sequence[cycle][input_name] for sequence in sequences], width
+                )
+                for input_name, width in system.inputs.items()
+            }
+            for cycle in range(cycles)
+        ]
+        packed_s = min(
+            _timed(lambda: packed.run(planes, stop_on_violation=False, record=False))
+            for _ in range(repeats)
+        )
+
+        kernel_s = None
+        kernel_error = ""
+        if compiler_available():
+            try:
+                kernel = get_kernel(system)
+                import ctypes
+
+                n_regs = max(1, len(kernel.register_order))
+                flats = [kernel._pack_inputs(sequence) for sequence in sequences]
+
+                def _kernel_pass():
+                    state = (ctypes.c_uint64 * n_regs)()
+                    for flat in flats:
+                        kernel._kinit(state)
+                        kernel._kreplay(state, flat, cycles, 0, None)
+
+                kernel_s = min(_timed(_kernel_pass) for _ in range(repeats))
+            except KernelUnavailable as error:
+                kernel_error = str(error)
+
+        backend = None
+        verdicts_agree = True
+        demotions: List[str] = []
+        for sequence in sequences[: min(4, lanes)]:
+            reference = _scalar_replay(system, sequence)
+            outcome = checked_replay(system, sequence)
+            backend = outcome.backend
+            demotions.extend(outcome.demotions)
+            if (outcome.first_violation, outcome.violated_property) != (
+                reference.first_violation,
+                reference.violated_property,
+            ):
+                verdicts_agree = False
+
+        row = {
+            "design": name,
+            "cycles": cycles,
+            "lanes": lanes,
+            "scalar_s": round(scalar_s, 6),
+            "packed_s": round(packed_s, 6),
+            "kernel_s": round(kernel_s, 6) if kernel_s is not None else None,
+            "packed_speedup": round(scalar_s / packed_s, 2) if packed_s else None,
+            "kernel_speedup_vs_packed": (
+                round(packed_s / kernel_s, 2) if kernel_s else None
+            ),
+            "checked_replay_backend": backend,
+            "demotions": demotions,
+            "verdicts_agree": verdicts_agree,
+        }
+        if kernel_error:
+            row["kernel_error"] = kernel_error
+        rows.append(row)
+        kernel_note = (
+            f"kernel {row['kernel_speedup_vs_packed']}x packed"
+            if kernel_s
+            else "kernel unavailable"
+        )
+        print(
+            f"kernels {name:14s} scalar {scalar_s:8.3f}s  packed "
+            f"{packed_s:8.4f}s ({row['packed_speedup']}x)  {kernel_note}  "
+            f"verdicts {'agree' if verdicts_agree else 'DIVERGE'}"
+        )
+    return rows
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
+def run_kernels_rsim_section(names: List[str], timeout: float) -> List[Dict]:
+    """Run the rsim falsifier on the suite's unsafe designs, validating witnesses.
+
+    The witness validation deliberately uses the packed replay backend so the
+    bench also exercises the validator's ``replay-crosscheck`` obligation.
+    """
+    from repro.engines.rsim import RandomSimulationEngine
+
+    rows: List[Dict] = []
+    for name in names:
+        benchmark = get_benchmark(name)
+        if benchmark.expected != Status.UNSAFE:
+            continue
+        system = benchmark.load()
+        start = time.perf_counter()
+        result = RandomSimulationEngine(system).verify(timeout=timeout)
+        wall = time.perf_counter() - start
+        validated = False
+        if result.status == Status.UNSAFE and result.certificate is not None:
+            validation = validate_result(system, result, replay_backend="packed")
+            validated = validation.ok
+        row = {
+            "design": name,
+            "status": str(result.status),
+            "wall_s": round(wall, 6),
+            "violation_cycle": result.detail.get("violation_cycle"),
+            "vectors": result.detail.get("vectors"),
+            "witness_validated_packed": validated,
+            "found_and_validated": result.status == Status.UNSAFE and validated,
+        }
+        rows.append(row)
+        print(
+            f"rsim    {name:14s} {result.status:8s} in {wall:.3f}s "
+            f"(cycle {row['violation_cycle']}, {row['vectors']} vectors), "
+            f"witness {'validated' if validated else 'NOT VALIDATED'}"
+        )
+    return rows
+
+
+def write_kernels_report(
+    tier_rows: List[Dict],
+    rsim_rows: List[Dict],
+    out: str,
+    cycles: int,
+    lanes: int,
+    packed_gate: float,
+    kernel_gate: float,
+) -> bool:
+    from repro.kernels.build import find_compiler
+
+    compiler = find_compiler()
+    packed_hits = sum(
+        1
+        for row in tier_rows
+        if row["packed_speedup"] is not None and row["packed_speedup"] >= packed_gate
+    )
+    kernel_hits = sum(
+        1
+        for row in tier_rows
+        if row["kernel_speedup_vs_packed"] is not None
+        and row["kernel_speedup_vs_packed"] >= kernel_gate
+    )
+    all_agree = all(row["verdicts_agree"] for row in tier_rows)
+    rsim_ok = all(row["found_and_validated"] for row in rsim_rows) and bool(rsim_rows)
+    # with no compiler the kernel tier is legitimately absent and its gate is
+    # waived — the degradation itself is what the no-cc CI leg checks
+    kernel_gate_waived = compiler is None
+    gates = {
+        "packed_gate": {
+            "threshold": packed_gate,
+            "designs_at_or_above": packed_hits,
+            "required": 3,
+            "ok": packed_hits >= 3,
+        },
+        "kernel_gate": {
+            "threshold": kernel_gate,
+            "designs_at_or_above": kernel_hits,
+            "required": 3,
+            "waived_no_compiler": kernel_gate_waived,
+            "ok": kernel_gate_waived or kernel_hits >= 3,
+        },
+        "verdict_agreement": {"ok": all_agree},
+        "rsim_falsification": {"ok": rsim_ok},
+    }
+    all_ok = all(gate["ok"] for gate in gates.values())
+    report = {
+        "config": {
+            "mode": "kernels",
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cycles": cycles,
+            "lanes": lanes,
+            "compiler": " ".join(compiler) if compiler else None,
+        },
+        # "kernel_tiers", not "sweeps"/"portfolio"/...: learn_priors scans
+        # every BENCH_*.json for those keys and these rows are not engine runs
+        "kernel_tiers": tier_rows,
+        "rsim_falsification": rsim_rows,
+        "summary": {
+            "designs": len(tier_rows),
+            "packed_designs_at_gate": packed_hits,
+            "kernel_designs_at_gate": kernel_hits if not kernel_gate_waived else None,
+            "all_verdicts_agree": all_agree,
+            "rsim_bugs_found": sum(
+                1 for row in rsim_rows if row["status"] == Status.UNSAFE
+            ),
+            "rsim_all_validated": rsim_ok,
+            "gates": gates,
+            "all_ok": all_ok,
+        },
+    }
+    write_json_atomic(out, report)
+    summary = report["summary"]
+    print(
+        f"\nwrote {out}: packed >= {packed_gate:g}x on "
+        f"{packed_hits}/{len(tier_rows)} designs, kernel >= {kernel_gate:g}x "
+        f"packed on {kernel_hits}/{len(tier_rows)}"
+        f"{' (gate waived: no compiler)' if kernel_gate_waived else ''}, "
+        f"verdicts {'all agree' if all_agree else 'DIVERGE'}, rsim "
+        f"{summary['rsim_bugs_found']} bug(s) "
+        f"{'validated' if rsim_ok else 'NOT VALIDATED'} -> "
+        f"{'OK' if all_ok else 'FAILED'}"
+    )
+    return all_ok
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -1542,6 +1824,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--seeds", type=int, default=3,
         help="--faults: number of seeded chaos sweeps (seeds 0..N-1)",
+    )
+    parser.add_argument(
+        "--kernels", action="store_true",
+        help="raw-speed mode: time the scalar / bit-parallel packed / "
+             "compiled-C replay tiers on identical random workloads, check "
+             "tier verdict agreement, and run the rsim falsifier on the "
+             "unsafe designs with packed-replay witness validation",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=64,
+        help="--kernels: cycles per replay sequence (default 64)",
+    )
+    parser.add_argument(
+        "--lanes", type=int, default=64,
+        help="--kernels: parallel sequences / packed lanes (default 64)",
+    )
+    parser.add_argument(
+        "--packed-gate", type=float, default=20.0,
+        help="--kernels: required packed-vs-scalar speedup on >= 3 designs "
+             "(default 20)",
+    )
+    parser.add_argument(
+        "--kernel-gate", type=float, default=5.0,
+        help="--kernels: required compiled-vs-packed speedup on >= 3 designs "
+             "(default 5; waived when no C compiler is available)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -1592,11 +1899,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    modes = (args.portfolio, args.certify, args.incremental, args.serve, args.faults)
+    modes = (
+        args.portfolio, args.certify, args.incremental, args.serve,
+        args.faults, args.kernels,
+    )
     if sum(map(bool, modes)) > 1:
         parser.error(
-            "--portfolio, --certify, --incremental, --serve and --faults "
-            "are mutually exclusive"
+            "--portfolio, --certify, --incremental, --serve, --faults and "
+            "--kernels are mutually exclusive"
+        )
+
+    if args.kernels:
+        names = args.benchmarks if args.benchmarks else benchmark_names()
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        if args.cycles < 1 or args.lanes < 1:
+            parser.error("--cycles and --lanes must be >= 1")
+        tier_rows = run_kernels_section(names, args.cycles, args.lanes)
+        rsim_rows = run_kernels_rsim_section(names, args.timeout)
+        out = args.out or "BENCH_kernels.json"
+        return (
+            0
+            if write_kernels_report(
+                tier_rows, rsim_rows, out, args.cycles, args.lanes,
+                args.packed_gate, args.kernel_gate,
+            )
+            else 1
         )
 
     if args.faults:

@@ -203,11 +203,20 @@ def _classify(status: str, expected: Optional[str]) -> str:
     return status
 
 
-def _certify(task: VerificationTask, result, status: str, timeout: float) -> str:
+def _certify(
+    task: VerificationTask,
+    result,
+    status: str,
+    timeout: float,
+    fast_replay: bool = False,
+) -> str:
     """Validate the final certificate; demote an unvalidated definitive verdict.
 
     ``result`` is the engine or portfolio result carrying ``certificate``;
-    returns the (possibly demoted) final status.
+    returns the (possibly demoted) final status.  With ``fast_replay``
+    witnesses are replayed through the bit-parallel simulator, gated by the
+    validator's ``replay-crosscheck`` obligation against the scalar
+    interpreter.
     """
     if status not in Status.DEFINITIVE:
         print("\ncertification: skipped (no definitive verdict)")
@@ -217,7 +226,12 @@ def _certify(task: VerificationTask, result, status: str, timeout: float) -> str
     except Exception as error:  # noqa: BLE001 - loader failures
         print(f"\ncertification: cannot reload {task.name!r}: {error}")
         return Status.WRONG
-    validation = validate_result(system, result, timeout=timeout)
+    validation = validate_result(
+        system,
+        result,
+        timeout=timeout,
+        replay_backend="packed" if fast_replay else "scalar",
+    )
     print("\ncertification:")
     for obligation in validation.obligations:
         note = f"  ({obligation.note})" if obligation.note else ""
@@ -305,6 +319,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--certify", action="store_true",
                         help="validate the verdict's certificate with the independent "
                              "checker; unvalidated definitive verdicts become WRONG")
+    parser.add_argument("--fast-replay", action="store_true",
+                        help="replay witnesses through the bit-parallel packed "
+                             "simulator instead of the scalar interpreter; the "
+                             "validator cross-checks the first cycles scalar "
+                             "and fails on any divergence")
     parser.add_argument("--save-certificate", metavar="PATH", default=None,
                         help="write the certificate JSON to PATH (witnesses also "
                              "get an AIGER .cex stimulus next to it)")
@@ -395,7 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     # --certify promises the per-obligation report and its
                     # demotion semantics on every run, hit or miss
                     result.status = _certify(
-                        task, result, result.status, args.timeout
+                        task, result, result.status, args.timeout,
+                        fast_replay=args.fast_replay,
                     )
                 if args.save_certificate:
                     _save_certificate(args.save_certificate, task, result)
@@ -437,7 +457,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         result.status = _classify(result.status, expected)
         _print_single(result, verbose=args.verbose)
         if args.certify:
-            result.status = _certify(task, result, result.status, args.timeout)
+            result.status = _certify(
+                task, result, result.status, args.timeout,
+                fast_replay=args.fast_replay,
+            )
         if args.save_certificate:
             _save_certificate(args.save_certificate, task, result)
         _store_in_cache(cache, task, result, representation)
@@ -509,7 +532,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     final_status = result.status
     if args.certify:
-        final_status = _certify(task, result, final_status, args.timeout)
+        final_status = _certify(
+            task, result, final_status, args.timeout,
+            fast_replay=args.fast_replay,
+        )
     if args.save_certificate:
         _save_certificate(args.save_certificate, task, result)
     _store_in_cache(cache, task, result, representation)

@@ -303,7 +303,7 @@ def test_default_ladder_orders_cost_tiers():
     ladder = default_budget_ladder(bound=40, timeout=60)
     assert [rung.tier for rung in ladder] == ["cheap", "medium", "heavy"]
     cheap = {config.engine for config in ladder[0].configs}
-    assert cheap == {"bmc", "absint"}
+    assert cheap == {"rsim", "bmc", "absint"}
     # non-final rungs are budgeted, the last rung takes what remains
     assert all(rung.budget is not None for rung in ladder[:-1])
     assert ladder[-1].budget is None

@@ -22,6 +22,8 @@ CANONICAL = [
     "impact",
     "predabs",
     "absint",
+    # bit-parallel random simulation: the budget ladder's cheapest refuter
+    "rsim",
     # fault injection for the certification layer, not a paper engine
     "oracle",
 ]
