@@ -23,6 +23,8 @@ respectively one concrete replay).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
@@ -38,7 +40,9 @@ from repro.certs import (
     validate_certificate,
 )
 from repro.engines.result import Status, VerificationResult
+from repro.jsonio import write_json_atomic
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 
 #: certificate kinds that can justify each definitive status (a witness can
 #: never be served for SAFE, an invariant never for UNSAFE)
@@ -76,6 +80,52 @@ class CacheStoreOutcome:
     validate_minimized_s: Optional[float] = None
 
 
+class PersistentCounters:
+    """Lifetime cache counters persisted next to the entries.
+
+    The in-memory counters on :class:`ResultCache` reset with every process;
+    these survive in ``<root>/counters.json`` (atomic writes, tolerant of a
+    missing or corrupt file) so ``repro-cache stats`` can report hit/miss/
+    re-validation totals across the cache's whole life, not just the current
+    CLI invocation.
+    """
+
+    FILENAME = "counters.json"
+    FIELDS = (
+        "hits",
+        "misses",
+        "stores",
+        "demotions",
+        "revalidations_ok",
+        "revalidations_failed",
+    )
+
+    def __init__(self, root: str) -> None:
+        self.path = os.path.join(root, self.FILENAME)
+        self.values: Dict[str, int] = {name: 0 for name in self.FIELDS}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            for name in self.FIELDS:
+                value = loaded.get(name)
+                if isinstance(value, int) and value >= 0:
+                    self.values[name] = value
+        except (OSError, ValueError):
+            pass  # fresh cache or corrupt counter file: start from zero
+
+    def bump(self, **deltas: int) -> None:
+        for name, delta in deltas.items():
+            if delta:
+                self.values[name] = self.values.get(name, 0) + delta
+        try:
+            write_json_atomic(self.path, self.values)
+        except OSError:  # pragma: no cover - read-only cache directory
+            pass
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.values)
+
+
 class ResultCache:
     """An on-disk, certificate-keyed verification result cache."""
 
@@ -99,6 +149,8 @@ class ResultCache:
         self.misses = 0
         self.demotions = 0
         self.stores = 0
+        # lifetime counters shared by every process using this cache root
+        self.persistent = PersistentCounters(self.store_backend.root)
 
     # ------------------------------------------------------------------
     @property
@@ -120,77 +172,102 @@ class ResultCache:
         """Look one query up; a hit is served only after re-validation."""
         start = time.monotonic()
         key = self.key_for(system, property_name, representation)
+        with _telemetry.span(
+            "cache.lookup", key=key, property=property_name
+        ) as lookup_span:
 
-        def miss(reason: str, demoted: bool = False, **extra) -> CacheLookup:
-            self.misses += 1
-            if demoted:
-                self.demotions += 1
-            return CacheLookup(
-                False,
-                key,
-                reason,
-                demoted=demoted,
-                runtime_s=time.monotonic() - start,
+            def miss(
+                reason: str,
+                demoted: bool = False,
+                revalidate_failed: bool = False,
                 **extra,
+            ) -> CacheLookup:
+                self.misses += 1
+                if demoted:
+                    self.demotions += 1
+                self.persistent.bump(
+                    misses=1,
+                    demotions=1 if demoted else 0,
+                    revalidations_failed=1 if revalidate_failed else 0,
+                )
+                _telemetry.counter("cache.miss")
+                if demoted:
+                    _telemetry.counter("cache.demotion")
+                if revalidate_failed:
+                    _telemetry.counter("cache.revalidate_fail")
+                lookup_span.set_outcome("demoted" if demoted else "miss")
+                return CacheLookup(
+                    False,
+                    key,
+                    reason,
+                    demoted=demoted,
+                    runtime_s=time.monotonic() - start,
+                    **extra,
+                )
+
+            entry = self.store_backend.load(key)
+            if entry is None:
+                return miss("absent")
+            allowed = _KINDS_FOR_STATUS.get(entry.status)
+            certificate_kind = getattr(entry.certificate, "kind", None)
+            if (
+                allowed is None
+                or certificate_kind not in allowed
+                or entry.property_name != property_name
+                or getattr(entry.certificate, "property_name", None) != property_name
+            ):
+                # malformed provenance: the certificate cannot justify the claim
+                self.store_backend.delete(key)
+                return miss(
+                    "entry cannot justify its verdict", demoted=True, entry=entry
+                )
+
+            validation = validate_certificate(
+                system, entry.certificate, timeout=self.validation_timeout
             )
+            if not validation.ok:
+                self.store_backend.delete(key)
+                return miss(
+                    f"re-validation failed: {validation.reason}",
+                    demoted=True,
+                    revalidate_failed=True,
+                    entry=entry,
+                    validation=validation,
+                )
 
-        entry = self.store_backend.load(key)
-        if entry is None:
-            return miss("absent")
-        allowed = _KINDS_FOR_STATUS.get(entry.status)
-        certificate_kind = getattr(entry.certificate, "kind", None)
-        if (
-            allowed is None
-            or certificate_kind not in allowed
-            or entry.property_name != property_name
-            or getattr(entry.certificate, "property_name", None) != property_name
-        ):
-            # malformed provenance: the certificate cannot justify the claim
-            self.store_backend.delete(key)
-            return miss("entry cannot justify its verdict", demoted=True, entry=entry)
-
-        validation = validate_certificate(
-            system, entry.certificate, timeout=self.validation_timeout
-        )
-        if not validation.ok:
-            self.store_backend.delete(key)
-            return miss(
-                f"re-validation failed: {validation.reason}",
-                demoted=True,
+            self.hits += 1
+            self.persistent.bump(hits=1, revalidations_ok=1)
+            _telemetry.counter("cache.hit")
+            lookup_span.set_outcome("hit")
+            runtime = time.monotonic() - start
+            result = VerificationResult(
+                entry.status,
+                f"cache:{entry.engine}" if entry.engine else "cache",
+                property_name,
+                runtime=runtime,
+                detail={
+                    "cache": {
+                        "key": key,
+                        "design": entry.design,
+                        "engine": entry.engine,
+                        "representation": entry.representation,
+                        "minimized": entry.minimized,
+                        "invariant_size": entry.size,
+                    },
+                    "validation": validation.to_json(),
+                },
+                reason="served from the certificate cache after re-validation",
+                certificate=entry.certificate,
+            )
+            return CacheLookup(
+                True,
+                key,
+                "hit (re-validated)",
+                result=result,
                 entry=entry,
                 validation=validation,
+                runtime_s=runtime,
             )
-
-        self.hits += 1
-        runtime = time.monotonic() - start
-        result = VerificationResult(
-            entry.status,
-            f"cache:{entry.engine}" if entry.engine else "cache",
-            property_name,
-            runtime=runtime,
-            detail={
-                "cache": {
-                    "key": key,
-                    "design": entry.design,
-                    "engine": entry.engine,
-                    "representation": entry.representation,
-                    "minimized": entry.minimized,
-                    "invariant_size": entry.size,
-                },
-                "validation": validation.to_json(),
-            },
-            reason="served from the certificate cache after re-validation",
-            certificate=entry.certificate,
-        )
-        return CacheLookup(
-            True,
-            key,
-            "hit (re-validated)",
-            result=result,
-            entry=entry,
-            validation=validation,
-            runtime_s=runtime,
-        )
 
     # ------------------------------------------------------------------
     def store(
@@ -209,85 +286,98 @@ class ResultCache:
         harnesses can report the hit-latency effect of minimization.
         """
         key = self.key_for(system, property_name, representation)
-        certificate = getattr(result, "certificate", None)
-        allowed = _KINDS_FOR_STATUS.get(result.status)
-        if allowed is None:
-            return CacheStoreOutcome(False, key, "verdict is not definitive")
-        if certificate is None:
-            return CacheStoreOutcome(False, key, "result carries no certificate")
-        if getattr(certificate, "kind", None) not in allowed:
-            return CacheStoreOutcome(
-                False, key, "certificate kind cannot justify the verdict"
-            )
-
-        t0 = time.monotonic()
-        validation = validate_certificate(
-            system, certificate, timeout=self.validation_timeout
-        )
-        validate_original_s = time.monotonic() - t0
-        if not validation.ok:
-            return CacheStoreOutcome(
-                False,
-                key,
-                f"certificate failed validation: {validation.reason}",
-                validate_original_s=validate_original_s,
-            )
-
-        minimization: Optional[MinimizationResult] = None
-        validate_minimized_s = validate_original_s
-        if self.minimize and result.status == Status.SAFE:
-            minimization = minimize_certificate(
-                system,
-                certificate,
-                timeout=self.validation_timeout,
-                max_checks=self.minimize_max_checks,
-            )
-            certificate = minimization.certificate
-            if minimization.dropped:
-                t1 = time.monotonic()
-                final = validate_certificate(
-                    system, certificate, timeout=self.validation_timeout
+        with _telemetry.span(
+            "cache.store", key=key, property=property_name
+        ) as store_span:
+            certificate = getattr(result, "certificate", None)
+            allowed = _KINDS_FOR_STATUS.get(result.status)
+            if allowed is None:
+                store_span.set_outcome("rejected")
+                return CacheStoreOutcome(False, key, "verdict is not definitive")
+            if certificate is None:
+                store_span.set_outcome("rejected")
+                return CacheStoreOutcome(False, key, "result carries no certificate")
+            if getattr(certificate, "kind", None) not in allowed:
+                store_span.set_outcome("rejected")
+                return CacheStoreOutcome(
+                    False, key, "certificate kind cannot justify the verdict"
                 )
-                validate_minimized_s = time.monotonic() - t1
-                if not final.ok:  # pragma: no cover - minimizer re-checks drops
-                    certificate = getattr(result, "certificate")
-                    minimization = None
-                    validate_minimized_s = validate_original_s
 
-        # both single-engine VerificationResults and aggregated
-        # PortfolioResults (winner_engine) are storable
-        engine = (
-            getattr(result, "engine", None)
-            or getattr(result, "winner_engine", None)
-            or ""
-        )
-        entry = CacheEntry(
-            key=key,
-            status=result.status,
-            property_name=property_name,
-            engine=engine,
-            representation=representation,
-            certificate=certificate,
-            design=design or getattr(system, "name", ""),
-            minimized=bool(minimization and minimization.dropped),
-            original_size=minimization.original_size if minimization else None,
-            size=minimization.size if minimization else None,
-            extra={
-                "validate_original_s": round(validate_original_s, 6),
-                "validate_minimized_s": round(validate_minimized_s, 6),
-            },
-        )
-        path = self.store_backend.save(entry)
-        self.stores += 1
-        return CacheStoreOutcome(
-            True,
-            key,
-            "stored",
-            path=path,
-            minimization=minimization,
-            validate_original_s=validate_original_s,
-            validate_minimized_s=validate_minimized_s,
-        )
+            t0 = time.monotonic()
+            validation = validate_certificate(
+                system, certificate, timeout=self.validation_timeout
+            )
+            validate_original_s = time.monotonic() - t0
+            if not validation.ok:
+                _telemetry.counter("cache.store_rejected")
+                store_span.set_outcome("rejected")
+                return CacheStoreOutcome(
+                    False,
+                    key,
+                    f"certificate failed validation: {validation.reason}",
+                    validate_original_s=validate_original_s,
+                )
+
+            minimization: Optional[MinimizationResult] = None
+            validate_minimized_s = validate_original_s
+            if self.minimize and result.status == Status.SAFE:
+                with _telemetry.span("cache.minimize", key=key) as minimize_span:
+                    minimization = minimize_certificate(
+                        system,
+                        certificate,
+                        timeout=self.validation_timeout,
+                        max_checks=self.minimize_max_checks,
+                    )
+                    minimize_span.annotate(dropped=minimization.dropped)
+                certificate = minimization.certificate
+                if minimization.dropped:
+                    t1 = time.monotonic()
+                    final = validate_certificate(
+                        system, certificate, timeout=self.validation_timeout
+                    )
+                    validate_minimized_s = time.monotonic() - t1
+                    if not final.ok:  # pragma: no cover - minimizer re-checks drops
+                        certificate = getattr(result, "certificate")
+                        minimization = None
+                        validate_minimized_s = validate_original_s
+
+            # both single-engine VerificationResults and aggregated
+            # PortfolioResults (winner_engine) are storable
+            engine = (
+                getattr(result, "engine", None)
+                or getattr(result, "winner_engine", None)
+                or ""
+            )
+            entry = CacheEntry(
+                key=key,
+                status=result.status,
+                property_name=property_name,
+                engine=engine,
+                representation=representation,
+                certificate=certificate,
+                design=design or getattr(system, "name", ""),
+                minimized=bool(minimization and minimization.dropped),
+                original_size=minimization.original_size if minimization else None,
+                size=minimization.size if minimization else None,
+                extra={
+                    "validate_original_s": round(validate_original_s, 6),
+                    "validate_minimized_s": round(validate_minimized_s, 6),
+                },
+            )
+            path = self.store_backend.save(entry)
+            self.stores += 1
+            self.persistent.bump(stores=1)
+            _telemetry.counter("cache.store")
+            store_span.set_outcome("stored")
+            return CacheStoreOutcome(
+                True,
+                key,
+                "stored",
+                path=path,
+                minimization=minimization,
+                validate_original_s=validate_original_s,
+                validate_minimized_s=validate_minimized_s,
+            )
 
     # ------------------------------------------------------------------
     def fsck(
@@ -358,7 +448,7 @@ class ResultCache:
         return report
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -367,6 +457,7 @@ class ResultCache:
             "entries": len(self.store_backend),
             "evictions": self.store_backend.evictions,
             "quarantined": self.store_backend.quarantined,
+            "lifetime": self.persistent.as_dict(),
         }
 
 

@@ -48,6 +48,7 @@ from repro.exprs import (
 from repro.exprs.substitute import rename
 from repro.netlist import TransitionSystem
 from repro.netlist.simulate import replay
+from repro.obs import telemetry as _telemetry
 from repro.smt import BVResult, BVSolver
 
 #: validation outcome of one obligation
@@ -141,26 +142,36 @@ class CertificateValidator:
         start = time.monotonic()
         self._deadline = None if self.timeout is None else start + self.timeout
         kind = getattr(certificate, "kind", None)
-        try:
-            if kind == WITNESS:
-                result = self._validate_witness(certificate)
-            elif kind == INDUCTIVE:
-                result = self._validate_inductive(certificate)
-            elif kind == K_INDUCTIVE:
-                result = self._validate_k_inductive(certificate)
-            else:
+        with _telemetry.span(
+            "certs.validate",
+            kind=str(kind),
+            property=getattr(certificate, "property_name", ""),
+        ) as validate_span:
+            try:
+                if kind == WITNESS:
+                    result = self._validate_witness(certificate)
+                elif kind == INDUCTIVE:
+                    result = self._validate_inductive(certificate)
+                elif kind == K_INDUCTIVE:
+                    result = self._validate_k_inductive(certificate)
+                else:
+                    result = ValidationResult(
+                        False, str(kind), "", reason=f"unknown certificate kind {kind!r}"
+                    )
+            except Exception as error:  # noqa: BLE001 - malformed certificates
                 result = ValidationResult(
-                    False, str(kind), "", reason=f"unknown certificate kind {kind!r}"
+                    False,
+                    str(kind),
+                    getattr(certificate, "property_name", ""),
+                    engine=getattr(certificate, "engine", ""),
+                    reason=f"{type(error).__name__}: {error}",
                 )
-        except Exception as error:  # noqa: BLE001 - malformed certificates
-            result = ValidationResult(
-                False,
-                str(kind),
-                getattr(certificate, "property_name", ""),
-                engine=getattr(certificate, "engine", ""),
-                reason=f"{type(error).__name__}: {error}",
+            result.runtime = time.monotonic() - start
+            validate_span.set_outcome("ok" if result.ok else "failed")
+            validate_span.annotate(obligations=len(result.obligations))
+            _telemetry.counter(
+                "certs.validations.ok" if result.ok else "certs.validations.failed"
             )
-        result.runtime = time.monotonic() - start
         return result
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import functools
 import inspect
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -29,33 +30,78 @@ from typing import Dict, Optional, Tuple
 from repro.engines.result import VerificationResult
 from repro.faults import injection as _fault_injection
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 
 
 class EngineOptionError(ValueError):
     """Raised when an engine is instantiated with options it does not accept."""
 
 
-def _instrument_verify(inner):
-    """Wrap a concrete ``verify`` with the fault-injection points.
+def _run_verify(self, inner, property_name, timeout):
+    """The fault-injection half of the verify wrapper (plan installed)."""
+    _fault_injection.on_engine_start(self, property_name)
+    try:
+        result = inner(self, property_name, timeout)
+    finally:
+        _fault_injection.on_engine_finish()
+    forged = _fault_injection.maybe_forge(self, property_name, result)
+    return forged if forged is not None else result
 
-    With no fault plan installed (the production case) the wrapper is one
-    global read and a tail call.  Under a plan it fires start-of-verify
-    faults (slow-start, crash, SIGKILL, solver wedge) before the engine runs
-    and may replace the result with a forged-certificate lie afterwards —
-    every category surfaces through the engine's normal result channel.
+
+def _instrument_verify(inner):
+    """Wrap a concrete ``verify`` with fault-injection and telemetry.
+
+    With no fault plan installed and telemetry off (the production default)
+    the wrapper is two global reads, a ``process_time`` delta and a tail
+    call.  Under a fault plan it fires start-of-verify faults (slow-start,
+    crash, SIGKILL, solver wedge) before the engine runs and may replace
+    the result with a forged-certificate lie afterwards.  With telemetry on
+    it times the run under an ``engine.verify`` span and attaches the
+    counter deltas the run produced to ``result.telemetry``.
+
+    The CPU-time delta is taken unconditionally: engines time their own
+    wall clocks per site, but ``VerificationResult.cpu_time`` is sourced
+    here so ladder CPU accounting needs no parallel timers.
     """
 
     @functools.wraps(inner)
     def verify(self, property_name=None, timeout=None):
-        if _fault_injection.current() is None:
-            return inner(self, property_name, timeout)
-        _fault_injection.on_engine_start(self, property_name)
-        try:
-            result = inner(self, property_name, timeout)
-        finally:
-            _fault_injection.on_engine_finish()
-        forged = _fault_injection.maybe_forge(self, property_name, result)
-        return forged if forged is not None else result
+        faulted = _fault_injection.current() is not None
+        recorder = _telemetry.get_recorder()
+        cpu0 = time.process_time()
+        if recorder is None:
+            if faulted:
+                result = _run_verify(self, inner, property_name, timeout)
+            else:
+                result = inner(self, property_name, timeout)
+            if isinstance(result, VerificationResult) and not result.cpu_time:
+                result.cpu_time = time.process_time() - cpu0
+            return result
+
+        counters_before = dict(recorder.counters)
+        with _telemetry.span(
+            "engine.verify",
+            engine=self.name,
+            design=getattr(self.system, "name", "?"),
+            property=property_name or "",
+        ) as verify_span:
+            if faulted:
+                result = _run_verify(self, inner, property_name, timeout)
+            else:
+                result = inner(self, property_name, timeout)
+            if isinstance(result, VerificationResult):
+                if not result.cpu_time:
+                    result.cpu_time = time.process_time() - cpu0
+                verify_span.set_outcome(result.status)
+                deltas = {
+                    name: value - counters_before.get(name, 0)
+                    for name, value in recorder.counters.items()
+                    if value != counters_before.get(name, 0)
+                }
+                telemetry = dict(result.telemetry or {})
+                telemetry["counters"] = deltas
+                result.telemetry = telemetry
+        return result
 
     verify._fault_instrumented = True
     return verify
@@ -120,7 +166,7 @@ class Engine(ABC):
         self.system = system
 
     def __init_subclass__(cls, **kwargs) -> None:
-        """Instrument every concrete ``verify`` with the fault-injection API.
+        """Instrument every concrete ``verify`` with fault-injection + telemetry.
 
         Threading the injection through the base class means *all* engines —
         registry-made, hand-constructed, future ones — are chaos-testable

@@ -48,6 +48,7 @@ from repro.engines.supervision import (
     RetryPolicy,
     WorkerSupervisor,
 )
+from repro.obs import telemetry as _telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -94,13 +95,17 @@ def run_sequential_ladder(
                 )
             t0 = time.monotonic()
             try:
-                engine = make_engine(
-                    config.engine,
-                    system,
-                    ignore_unknown_options=True,
-                    **config.options_dict,
-                )
-                result = engine.verify(property_name, timeout=allowance)
+                with _telemetry.span(
+                    "ladder.attempt", config=config.label, rung=rung_index
+                ) as attempt_span:
+                    engine = make_engine(
+                        config.engine,
+                        system,
+                        ignore_unknown_options=True,
+                        **config.options_dict,
+                    )
+                    result = engine.verify(property_name, timeout=allowance)
+                    attempt_span.set_outcome(result.status)
             except Exception as error:  # noqa: BLE001 - crash category
                 attempts.append(
                     {
@@ -287,10 +292,14 @@ def _batch_worker(
     certify = bool(payload[5]) if len(payload) > 5 else False
     start = time.monotonic()
     try:
-        system = task.load()
-        result = run_sequential_ladder(
-            system, property_name, rungs, timeout, certify=certify
-        )
+        with _telemetry.span(
+            "batch.unit", design=task.name, property=property_name or ""
+        ) as unit_span:
+            system = task.load()
+            result = run_sequential_ladder(
+                system, property_name, rungs, timeout, certify=certify
+            )
+            unit_span.set_outcome(result.status)
     except Exception as error:  # noqa: BLE001 - loader/ladder crash
         result = VerificationResult(
             Status.ERROR,
@@ -451,6 +460,16 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def run(self, items: Sequence[BatchItem]) -> BatchReport:
         """Sweep the batch; returns the per-item report."""
+        with _telemetry.span("batch.run", items=len(items)) as batch_span:
+            report = self._run(items)
+            batch_span.annotate(
+                units=len(report.items),
+                cache_hits=report.cache_hits,
+                cache_misses=report.cache_misses,
+            )
+            return report
+
+    def _run(self, items: Sequence[BatchItem]) -> BatchReport:
         start = time.monotonic()
         units = self._expand(items)
         report = BatchReport(items=[None] * len(units))  # type: ignore[list-item]

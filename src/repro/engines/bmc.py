@@ -26,6 +26,7 @@ from repro.engines.base import Engine, EngineCapabilities
 from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 from repro.sat.solver import SolverStats
 from repro.smt import BVResult
 
@@ -76,41 +77,45 @@ class BMCEngine(Engine):
 
         encoder: Optional[FrameEncoder] = None
         for bound in range(self.max_bound + 1):
-            if budget.expired():
-                if encoder is not None:
-                    stats.add(encoder.solver.stats)
-                return self._timeout(property_name, budget, bound, stats)
-            if self.persistent_session:
-                if encoder is None:
+            with _telemetry.span("engine.bmc.bound", k=bound) as bound_span:
+                if budget.expired():
+                    if encoder is not None:
+                        stats.add(encoder.solver.stats)
+                    bound_span.set_outcome("timeout")
+                    return self._timeout(property_name, budget, bound, stats)
+                if self.persistent_session:
+                    if encoder is None:
+                        encoder = self._new_encoder(budget)
+                        encoder.assert_init(0)
+                else:
+                    # legacy: a fresh solver per bound, re-unrolled from scratch
+                    if encoder is not None:
+                        stats.add(encoder.solver.stats)
                     encoder = self._new_encoder(budget)
                     encoder.assert_init(0)
-            else:
-                # legacy: a fresh solver per bound, re-unrolled from scratch
-                if encoder is not None:
+                    for frame in range(bound):
+                        encoder.assert_trans(frame)
+                property_literal = encoder.property_literal(property_name, bound)
+                outcome = encoder.solver.check(assumptions=[-property_literal])
+                if outcome == BVResult.SAT:
                     stats.add(encoder.solver.stats)
-                encoder = self._new_encoder(budget)
-                encoder.assert_init(0)
-                for frame in range(bound):
-                    encoder.assert_trans(frame)
-            property_literal = encoder.property_literal(property_name, bound)
-            outcome = encoder.solver.check(assumptions=[-property_literal])
-            if outcome == BVResult.SAT:
-                stats.add(encoder.solver.stats)
-                cex = encoder.extract_counterexample(property_name, bound)
-                return VerificationResult(
-                    Status.UNSAFE,
-                    self.name,
-                    property_name,
-                    runtime=time.monotonic() - start,
-                    counterexample=cex,
-                    detail={"bound": bound, "solver_stats": stats.as_dict()},
-                    certificate=witness_from_counterexample(self.system, self.name, cex),
-                )
-            if outcome == BVResult.UNKNOWN:
-                stats.add(encoder.solver.stats)
-                return self._timeout(property_name, budget, bound, stats)
-            if self.persistent_session:
-                encoder.assert_trans(bound)
+                    cex = encoder.extract_counterexample(property_name, bound)
+                    bound_span.set_outcome("unsafe")
+                    return VerificationResult(
+                        Status.UNSAFE,
+                        self.name,
+                        property_name,
+                        runtime=time.monotonic() - start,
+                        counterexample=cex,
+                        detail={"bound": bound, "solver_stats": stats.as_dict()},
+                        certificate=witness_from_counterexample(self.system, self.name, cex),
+                    )
+                if outcome == BVResult.UNKNOWN:
+                    stats.add(encoder.solver.stats)
+                    bound_span.set_outcome("timeout")
+                    return self._timeout(property_name, budget, bound, stats)
+                if self.persistent_session:
+                    encoder.assert_trans(bound)
 
         if encoder is not None:
             stats.add(encoder.solver.stats)

@@ -53,6 +53,7 @@ from repro.exprs import Expr, bv_eq, bv_var, evaluate
 from repro.exprs.substitute import rename
 from repro.netlist import TransitionSystem
 from repro.engines.result import Counterexample
+from repro.obs import telemetry as _telemetry
 from repro.sat.cnf import CNF
 from repro.sat.tseitin import TseitinEncoder
 from repro.smt import BitBlaster, BVSolver
@@ -468,16 +469,21 @@ class TemplateLibrary:
     def __init__(self, system: TransitionSystem, representation: str) -> None:
         self.representation = representation
         self.fingerprint = _system_fingerprint(system)
-        self.flat = flattened_cached(system)
-        self.aig: Optional[AIG] = None
-        self._property_templates: Dict[str, FrameTemplate] = {}
-        if representation == "bit":
-            self.aig = aig_from_transition_system(system)
-            self._builder = _AigTemplateBuilder(self.flat, self.aig)
-            self.trans_template = self._builder.trans_template()
-        else:
-            self._builder = None
-            self.trans_template = _build_word_trans_template(self.flat)
+        with _telemetry.span(
+            "encoding.blast",
+            design=getattr(system, "name", "?"),
+            representation=representation,
+        ):
+            self.flat = flattened_cached(system)
+            self.aig: Optional[AIG] = None
+            self._property_templates: Dict[str, FrameTemplate] = {}
+            if representation == "bit":
+                self.aig = aig_from_transition_system(system)
+                self._builder = _AigTemplateBuilder(self.flat, self.aig)
+                self.trans_template = self._builder.trans_template()
+            else:
+                self._builder = None
+                self.trans_template = _build_word_trans_template(self.flat)
 
     def property_template(self, property_name: str) -> FrameTemplate:
         template = self._property_templates.get(property_name)
@@ -505,8 +511,11 @@ def template_library(system: TransitionSystem, representation: str) -> TemplateL
         _TEMPLATE_LIBRARIES[system] = per_system
     library = per_system.get(representation)
     if library is None or library.fingerprint != _system_fingerprint(system):
+        _telemetry.counter("encoding.template_library.miss")
         library = TemplateLibrary(system, representation)
         per_system[representation] = library
+    else:
+        _telemetry.counter("encoding.template_library.hit")
     return library
 
 
@@ -618,6 +627,7 @@ class FrameEncoder:
         acyclic), so they stay unguarded: with the boundary disabled they are
         satisfiable for every assignment of the named bits.
         """
+        _telemetry.counter("encoding.frames_stamped")
         blaster = self.solver.blaster
         sat = self.solver.solver
         table = [0] * (template.num_vars + 1)

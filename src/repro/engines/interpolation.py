@@ -62,6 +62,7 @@ from repro.exprs import (
     simplify,
 )
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 from repro.sat.interpolate import Interpolator, ItpNode
 from repro.sat.solver import SolverStats
 from repro.smt import BVResult, BVSolver
@@ -238,9 +239,15 @@ class InterpolationEngine(Engine):
                 if budget.expired() or iterations > self.max_iterations:
                     self._fold_stats(session)
                     return self._timeout(property_name, budget, depth, iterations)
-                outcome, interpolant_expr, cex = self._bounded_check(
-                    property_name, frontier, depth, budget, session
-                )
+                with _telemetry.span(
+                    "engine.interpolation.iteration",
+                    depth=depth,
+                    iteration=iterations,
+                ) as iteration_span:
+                    outcome, interpolant_expr, cex = self._bounded_check(
+                        property_name, frontier, depth, budget, session
+                    )
+                    iteration_span.set_outcome(outcome)
                 if outcome == "timeout":
                     self._fold_stats(session)
                     return self._timeout(property_name, budget, depth, iterations)

@@ -27,6 +27,7 @@ from repro.engines.kinduction import KInductionEngine
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 from repro.smt import BVResult
 
 
@@ -72,9 +73,10 @@ class KikiEngine(Engine):
         invariants: List[Expr] = []
         interval_detail = {}
         if self.use_intervals:
-            analysis = AbstractInterpretationEngine(self.system)
-            intervals = analysis.compute_invariants(budget)
-            invariants = analysis.invariant_exprs(intervals)
+            with _telemetry.span("engine.kiki.intervals"):
+                analysis = AbstractInterpretationEngine(self.system)
+                intervals = analysis.compute_invariants(budget)
+                invariants = analysis.invariant_exprs(intervals)
             interval_detail = {
                 "interval_invariants": len(invariants),
             }
@@ -90,7 +92,11 @@ class KikiEngine(Engine):
         # phase 2: the invariants must themselves be inductive to be assumed
         # in the step case; the interval fixpoint guarantees this, but a
         # defensive check keeps the engine sound even if widening was applied.
-        invariants = self._certified_invariants(invariants, budget)
+        with _telemetry.span(
+            "engine.kiki.certify", candidates=len(invariants)
+        ) as certify_span:
+            invariants = self._certified_invariants(invariants, budget)
+            certify_span.annotate(certified=len(invariants))
 
         # phase 3: k-induction strengthened with the certified invariants,
         # interleaved with BMC through the shared base case

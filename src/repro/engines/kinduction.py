@@ -32,6 +32,7 @@ from repro.engines.encoding import FrameEncoder
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.exprs import Expr, bool_or, bv_ne
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 from repro.sat.solver import SolverStats
 from repro.smt import BVResult
 
@@ -78,71 +79,77 @@ class KInductionEngine(Engine):
             base, step = self._fresh_pair(budget)
 
         for k in range(self.max_k + 1):
-            if budget.expired():
-                self._retire_pair(base, step)
-                return self._timeout(property_name, budget, k)
+            with _telemetry.span("engine.kinduction.k", k=k) as bound_span:
+                if budget.expired():
+                    self._retire_pair(base, step)
+                    bound_span.set_outcome("timeout")
+                    return self._timeout(property_name, budget, k)
 
-            if not self.persistent_session:
-                # legacy: rebuild both solvers from scratch and re-unroll the
-                # whole prefix — identical queries, no learned-clause reuse
-                self._retire_pair(base, step)
-                base, step = self._fresh_pair(budget)
-                for frame in range(k):
-                    base.assert_trans(frame)
-                self._extend_step(step, k, property_name)
+                if not self.persistent_session:
+                    # legacy: rebuild both solvers from scratch and re-unroll the
+                    # whole prefix — identical queries, no learned-clause reuse
+                    self._retire_pair(base, step)
+                    base, step = self._fresh_pair(budget)
+                    for frame in range(k):
+                        base.assert_trans(frame)
+                    self._extend_step(step, k, property_name)
 
-            # ---- base case: a violation within k steps of the initial state?
-            base_property = base.property_literal(property_name, k)
-            outcome = base.solver.check(assumptions=[-base_property])
-            if outcome == BVResult.SAT:
-                self._retire_pair(base, step)
-                cex = base.extract_counterexample(property_name, k)
-                return VerificationResult(
-                    Status.UNSAFE,
-                    self.name,
-                    property_name,
-                    runtime=time.monotonic() - start,
-                    counterexample=cex,
-                    detail={"k": k, "solver_stats": self._stats.as_dict()},
-                    certificate=witness_from_counterexample(self.system, self.name, cex),
-                )
-            if outcome == BVResult.UNKNOWN:
-                self._retire_pair(base, step)
-                return self._timeout(property_name, budget, k)
-
-            # ---- step case: P in frames 0..k implies P in frame k+1
-            if self.persistent_session:
-                self._extend_step_frame(step, k, property_name)
-            step_property_next = step.property_literal(property_name, k + 1)
-            outcome = step.solver.check(assumptions=[-step_property_next])
-            if outcome == BVResult.UNSAT:
-                self._retire_pair(base, step)
-                return VerificationResult(
-                    Status.SAFE,
-                    self.name,
-                    property_name,
-                    runtime=time.monotonic() - start,
-                    detail={
-                        "k": k + 1,
-                        "simple_path": self.simple_path,
-                        "solver_stats": self._stats.as_dict(),
-                    },
-                    reason=f"property is {k + 1}-inductive",
-                    certificate=KInductiveCertificate(
-                        property_name,
+                # ---- base case: a violation within k steps of the initial state?
+                base_property = base.property_literal(property_name, k)
+                outcome = base.solver.check(assumptions=[-base_property])
+                if outcome == BVResult.SAT:
+                    self._retire_pair(base, step)
+                    cex = base.extract_counterexample(property_name, k)
+                    bound_span.set_outcome("unsafe")
+                    return VerificationResult(
+                        Status.UNSAFE,
                         self.name,
-                        k=k + 1,
-                        simple_path=self.simple_path,
-                        invariants=tuple(self.strengthening_invariants),
-                    ),
-                )
-            if outcome == BVResult.UNKNOWN:
-                self._retire_pair(base, step)
-                return self._timeout(property_name, budget, k)
+                        property_name,
+                        runtime=time.monotonic() - start,
+                        counterexample=cex,
+                        detail={"k": k, "solver_stats": self._stats.as_dict()},
+                        certificate=witness_from_counterexample(self.system, self.name, cex),
+                    )
+                if outcome == BVResult.UNKNOWN:
+                    self._retire_pair(base, step)
+                    bound_span.set_outcome("timeout")
+                    return self._timeout(property_name, budget, k)
 
-            # neither case concluded: deepen the unrolling
-            if self.persistent_session:
-                base.assert_trans(k)
+                # ---- step case: P in frames 0..k implies P in frame k+1
+                if self.persistent_session:
+                    self._extend_step_frame(step, k, property_name)
+                step_property_next = step.property_literal(property_name, k + 1)
+                outcome = step.solver.check(assumptions=[-step_property_next])
+                if outcome == BVResult.UNSAT:
+                    self._retire_pair(base, step)
+                    bound_span.set_outcome("safe")
+                    return VerificationResult(
+                        Status.SAFE,
+                        self.name,
+                        property_name,
+                        runtime=time.monotonic() - start,
+                        detail={
+                            "k": k + 1,
+                            "simple_path": self.simple_path,
+                            "solver_stats": self._stats.as_dict(),
+                        },
+                        reason=f"property is {k + 1}-inductive",
+                        certificate=KInductiveCertificate(
+                            property_name,
+                            self.name,
+                            k=k + 1,
+                            simple_path=self.simple_path,
+                            invariants=tuple(self.strengthening_invariants),
+                        ),
+                    )
+                if outcome == BVResult.UNKNOWN:
+                    self._retire_pair(base, step)
+                    bound_span.set_outcome("timeout")
+                    return self._timeout(property_name, budget, k)
+
+                # neither case concluded: deepen the unrolling
+                if self.persistent_session:
+                    base.assert_trans(k)
 
         self._retire_pair(base, step)
         return VerificationResult(

@@ -26,6 +26,7 @@ from repro.engines.bmc import BMCEngine
 from repro.engines.encoding import FrameEncoder, frame_name
 from repro.engines.result import Budget, Counterexample, Status, VerificationResult
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 from repro.smt import BVResult
 from repro.exprs import bool_and, bool_not, bool_or, bv_var, evaluate, simplify
 
@@ -141,57 +142,63 @@ class PDREngine(Engine):
         self._frame_count = 1
 
         while self._frame_count < self.max_frames:
-            if budget.expired():
-                raise _PdrTimeout()
-            # block all bad states reachable in the top frame
-            while True:
-                outcome = self._solve(
-                    self._frame_assumptions(self._frame_count)
-                    + [-self._property_literal_now]
-                )
-                if outcome != BVResult.SAT:
-                    break
-                bad_cube = self._model_cube()
-                if not self._block(bad_cube, self._frame_count, property_name):
-                    cex = self._extract_counterexample(property_name)
+            with _telemetry.span(
+                "engine.pdr.frame", frame=self._frame_count
+            ) as frame_span:
+                if budget.expired():
+                    frame_span.set_outcome("timeout")
+                    raise _PdrTimeout()
+                # block all bad states reachable in the top frame
+                while True:
+                    outcome = self._solve(
+                        self._frame_assumptions(self._frame_count)
+                        + [-self._property_literal_now]
+                    )
+                    if outcome != BVResult.SAT:
+                        break
+                    bad_cube = self._model_cube()
+                    if not self._block(bad_cube, self._frame_count, property_name):
+                        cex = self._extract_counterexample(property_name)
+                        frame_span.set_outcome("unsafe")
+                        return VerificationResult(
+                            Status.UNSAFE,
+                            self.name,
+                            property_name,
+                            runtime=time.monotonic() - start,
+                            counterexample=cex,
+                            detail={"frames": self._frame_count},
+                            certificate=witness_from_counterexample(
+                                self.system, self.name, cex
+                            ),
+                        )
+
+                # open a new frame and propagate clauses forward
+                self._frames.append(set())
+                self._acts.append(self._encoder.solver.new_bool())
+                self._frame_count += 1
+                fixpoint_at = self._propagate()
+                if fixpoint_at is not None:
+                    frame_span.set_outcome("safe")
                     return VerificationResult(
-                        Status.UNSAFE,
+                        Status.SAFE,
                         self.name,
                         property_name,
                         runtime=time.monotonic() - start,
-                        counterexample=cex,
-                        detail={"frames": self._frame_count},
-                        certificate=witness_from_counterexample(
-                            self.system, self.name, cex
+                        detail={
+                            "frames": self._frame_count,
+                            "fixpoint_frame": fixpoint_at,
+                            "invariant_clauses": sum(
+                                len(self._frames[j]) for j in range(fixpoint_at, len(self._frames))
+                            ),
+                            "sim_generalize_skips": self._sim_skips,
+                        },
+                        reason="inductive invariant found",
+                        certificate=InductiveCertificate(
+                            property_name,
+                            self.name,
+                            self._invariant_expr(fixpoint_at, property_name),
                         ),
                     )
-
-            # open a new frame and propagate clauses forward
-            self._frames.append(set())
-            self._acts.append(self._encoder.solver.new_bool())
-            self._frame_count += 1
-            fixpoint_at = self._propagate()
-            if fixpoint_at is not None:
-                return VerificationResult(
-                    Status.SAFE,
-                    self.name,
-                    property_name,
-                    runtime=time.monotonic() - start,
-                    detail={
-                        "frames": self._frame_count,
-                        "fixpoint_frame": fixpoint_at,
-                        "invariant_clauses": sum(
-                            len(self._frames[j]) for j in range(fixpoint_at, len(self._frames))
-                        ),
-                        "sim_generalize_skips": self._sim_skips,
-                    },
-                    reason="inductive invariant found",
-                    certificate=InductiveCertificate(
-                        property_name,
-                        self.name,
-                        self._invariant_expr(fixpoint_at, property_name),
-                    ),
-                )
 
         return VerificationResult(
             Status.UNKNOWN,

@@ -39,6 +39,7 @@ from repro.engines.result import Counterexample, Status, VerificationResult
 from repro.engines.supervision import RetryPolicy, WorkerSupervisor
 from repro.faults import injection as _fault_injection
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +455,20 @@ class WorkerOutcome:
         return self.state
 
 
+def _worker_cpu(outcome: WorkerOutcome) -> float:
+    """CPU seconds one worker consumed.
+
+    Engines measure their own ``process_time`` (see
+    :class:`repro.engines.base.Engine`), which survives the trip back from
+    the worker process on ``result.cpu_time``; workers that never reported
+    (killed, crashed) fall back to their wall time — an over-estimate, but
+    the honest bound for a CPU-bound child the parent cannot observe.
+    """
+    if outcome.result is not None and outcome.result.cpu_time:
+        return outcome.result.cpu_time
+    return outcome.runtime
+
+
 @dataclass
 class PortfolioResult:
     """Aggregated outcome of one portfolio run."""
@@ -501,19 +516,30 @@ def _portfolio_worker(
     events: "multiprocessing.Queue",
     attempt: int = 0,
 ) -> None:
-    """Run one engine configuration and stream lifecycle events back."""
+    """Run one engine configuration and stream lifecycle events back.
+
+    When the parent was recording telemetry, the forked worker swaps in a
+    fresh recorder and ships its exported span subtree on
+    ``result.telemetry["trace"]``; the parent stitches it under the
+    worker's parent-side span.
+    """
     start = time.monotonic()
     _fault_injection.set_attempt(attempt)
+    _telemetry.child_begin()
     try:
-        system = task.load()
-        engine = make_engine(
-            config.engine,
-            system,
-            ignore_unknown_options=True,
-            **config.options_dict,
-        )
-        events.put(("started", index, {"pid": os.getpid(), "label": config.label}))
-        result = engine.verify(property_name, timeout=timeout)
+        with _telemetry.span(
+            "worker.config", label=config.label, attempt=attempt
+        ) as worker_span:
+            system = task.load()
+            engine = make_engine(
+                config.engine,
+                system,
+                ignore_unknown_options=True,
+                **config.options_dict,
+            )
+            events.put(("started", index, {"pid": os.getpid(), "label": config.label}))
+            result = engine.verify(property_name, timeout=timeout)
+            worker_span.set_outcome(result.status)
     except Exception as error:  # noqa: BLE001 - crash category of the paper
         result = VerificationResult(
             Status.ERROR,
@@ -522,6 +548,11 @@ def _portfolio_worker(
             runtime=time.monotonic() - start,
             reason=f"{type(error).__name__}: {error}",
         )
+    trace = _telemetry.child_export()
+    if trace is not None:
+        telemetry = dict(result.telemetry or {})
+        telemetry["trace"] = trace
+        result.telemetry = telemetry
     # Queue.put serializes in a background feeder thread, so a pickling
     # failure would be swallowed there and the result silently lost; probe
     # the pickle here and strip the engine-specific payload if needed.
@@ -533,7 +564,9 @@ def _portfolio_worker(
             result.engine,
             result.property_name,
             runtime=result.runtime,
+            cpu_time=result.cpu_time,
             reason=result.reason or "detail dropped (not picklable)",
+            telemetry=result.telemetry,  # JSON-safe primitives, always pickles
         )
     events.put(("result", index, result))
 
@@ -675,7 +708,25 @@ class PortfolioRunner:
     ) -> PortfolioResult:
         """Run the portfolio (all-at-once or ladder) on ``task``."""
         if self.ladder is not None:
-            return self._run_ladder(task, property_name)
+            with _telemetry.span(
+                "portfolio.ladder", task=task.name, rungs=len(self.ladder)
+            ) as ladder_span:
+                result = self._run_ladder(task, property_name)
+                ladder_span.set_outcome(result.status)
+                return result
+        with _telemetry.span(
+            "portfolio.run", task=task.name, configs=len(self.configs)
+        ) as run_span:
+            result = self._run_fanout(task, property_name)
+            run_span.set_outcome(result.status)
+            return result
+
+    def _run_fanout(
+        self,
+        task: VerificationTask,
+        property_name: Optional[str] = None,
+    ) -> PortfolioResult:
+        """Race every configuration at once; first definitive answer wins."""
         start = time.monotonic()
         self._prewarm(task)
         deadline = start + self.timeout if self.timeout is not None else None
@@ -701,6 +752,38 @@ class PortfolioRunner:
         def emit(event: str, **payload) -> None:
             if self.on_event is not None:
                 self.on_event({"event": event, **payload})
+
+        # parent-side trace assembly: one explicit-parent span per launched
+        # worker attempt (workers overlap, so the thread stack cannot hold
+        # them); a reporting worker's exported subtree is stitched under its
+        # span, and cancels/kills — where the worker ships nothing — are
+        # recorded by the parent-side span alone
+        recorder = _telemetry.get_recorder()
+        fanout_parent = recorder.current_span() if recorder is not None else None
+        worker_spans: Dict[int, object] = {}
+
+        def begin_worker_span(index: int, attempt: int, pid=None) -> None:
+            if recorder is None:
+                return
+            worker_spans[index] = recorder.start_span(
+                "portfolio.worker",
+                parent=fanout_parent,
+                label=self.configs[index].label,
+                attempt=attempt,
+                **({"worker_pid": pid} if pid is not None else {}),
+            )
+
+        def end_worker_span(index: int, state: str, result=None) -> None:
+            _telemetry.counter(f"portfolio.worker.{state}")
+            if recorder is None:
+                return
+            span = worker_spans.pop(index, None)
+            if span is None:
+                return
+            trace = (result.telemetry or {}).get("trace") if result is not None else None
+            if trace:
+                recorder.attach(trace, span)
+            span.finish(outcome=state)
 
         def launch_until_full() -> None:
             nonlocal degraded
@@ -740,12 +823,14 @@ class PortfolioRunner:
                 retry_pending.discard(index)
                 outcomes[index].state = CANCELLED  # running; refined on completion
                 outcomes[index].attempts = attempts.get(index, 0) + 1
+                begin_worker_span(index, attempts.get(index, 0), pid=process.pid)
 
         def reap_death(index: int) -> None:
             """A worker died without reporting: retry under budget or retire."""
             nonlocal finished
             outcomes[index].state = CRASHED
             outcomes[index].runtime = time.monotonic() - launched[index]
+            end_worker_span(index, CRASHED)
             remaining = None if deadline is None else deadline - time.monotonic()
             if winner_index is None and self.retry.should_retry(
                 CRASHED, attempts.get(index, 0), remaining
@@ -807,6 +892,7 @@ class PortfolioRunner:
             outcomes[index].result = result
             outcomes[index].state = DONE
             outcomes[index].runtime = time.monotonic() - launched[index]
+            end_worker_span(index, DONE, result=result)
             if first_report:
                 finished += 1
             process = processes.pop(index, None)
@@ -837,6 +923,7 @@ class PortfolioRunner:
             outcomes[index].result = payload
             outcomes[index].state = DONE
             outcomes[index].runtime = time.monotonic() - launched[index]
+            end_worker_span(index, DONE, result=payload)
             finished += 1
             process = processes.pop(index, None)
             if process is not None:
@@ -851,6 +938,7 @@ class PortfolioRunner:
                 outcomes[index].state = TIMED_OUT if winner_index is None and deadline_hit else CANCELLED
                 outcomes[index].runtime = time.monotonic() - launched[index]
                 emit("cancelled", label=outcomes[index].label, state=outcomes[index].state)
+                end_worker_span(index, outcomes[index].state)
         events.close()
         events.cancel_join_thread()
 
@@ -868,6 +956,8 @@ class PortfolioRunner:
                     break
                 t0 = time.monotonic()
                 _fault_injection.set_attempt(attempts.get(index, 0))
+                begin_worker_span(index, attempts.get(index, 0))
+                degraded_span = worker_spans.get(index)
                 try:
                     system = task.load()
                     engine = make_engine(
@@ -876,7 +966,11 @@ class PortfolioRunner:
                         ignore_unknown_options=True,
                         **self.configs[index].options_dict,
                     )
-                    result = engine.verify(property_name, timeout=remaining)
+                    if recorder is not None and degraded_span is not None:
+                        with recorder.under(degraded_span):
+                            result = engine.verify(property_name, timeout=remaining)
+                    else:
+                        result = engine.verify(property_name, timeout=remaining)
                 except Exception as error:  # noqa: BLE001 - crash category
                     result = VerificationResult(
                         Status.ERROR,
@@ -891,6 +985,7 @@ class PortfolioRunner:
                 outcome.state = DONE
                 outcome.degraded = True
                 outcome.runtime = time.monotonic() - t0
+                end_worker_span(index, DONE)
                 emit(
                     "degraded",
                     label=outcome.label,
@@ -961,9 +1056,13 @@ class PortfolioRunner:
                 certify=self.certify,
             )
             rung_start = time.monotonic()
-            result = child.run(task, property_name)
+            with _telemetry.span(
+                "ladder.rung", rung=index, tier=rung.tier
+            ) as rung_span:
+                result = child.run(task, property_name)
+                rung_span.set_outcome(result.status)
             rung_wall = time.monotonic() - rung_start
-            rung_cpu = sum(outcome.runtime for outcome in result.workers)
+            rung_cpu = sum(_worker_cpu(outcome) for outcome in result.workers)
             all_workers.extend(result.workers)
             rung_rows.append(
                 {
@@ -983,7 +1082,7 @@ class PortfolioRunner:
                 break
 
         runtime = time.monotonic() - start
-        cpu_s = sum(outcome.runtime for outcome in all_workers)
+        cpu_s = sum(_worker_cpu(outcome) for outcome in all_workers)
         ladder_detail: Dict[str, object] = {
             "rungs": rung_rows,
             "decided_rung": decided_rung,
@@ -1060,9 +1159,10 @@ class PortfolioRunner:
             "configs": [outcome.label for outcome in outcomes],
             "worker_statuses": {outcome.label: outcome.status for outcome in outcomes},
             "cross_check": self.cross_check,
-            # total worker wall-clock: the CPU the fan-out spent (workers are
-            # CPU-bound), compared against ladder CPU by the serve bench
-            "cpu_s": round(sum(outcome.runtime for outcome in outcomes), 6),
+            # CPU the fan-out spent: each worker's measured process time
+            # (wall for workers that never reported), compared against
+            # ladder CPU by the serve bench
+            "cpu_s": round(sum(_worker_cpu(outcome) for outcome in outcomes), 6),
         }
         if supervision is not None:
             detail["supervision"] = supervision

@@ -71,6 +71,9 @@ class VerificationResult:
     engine: str
     property_name: str = ""
     runtime: float = 0.0
+    #: CPU seconds consumed by the verify call (``time.process_time`` delta
+    #: taken by the engine base-class wrapper; 0.0 for hand-built results)
+    cpu_time: float = 0.0
     counterexample: Optional[Counterexample] = None
     #: engine-specific detail: k for k-induction, frame count for PDR, ...
     detail: Dict[str, object] = field(default_factory=dict)
@@ -79,6 +82,10 @@ class VerificationResult:
     #: :class:`repro.certs.Witness` for UNSAFE, an inductive or k-inductive
     #: certificate for SAFE (see :mod:`repro.certs`)
     certificate: Optional[object] = None
+    #: telemetry attached when recording is on: counter deltas for this
+    #: verify call, and — on supervised/portfolio results — the worker's
+    #: exported span subtree under the ``"trace"`` key
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def is_definitive(self) -> bool:

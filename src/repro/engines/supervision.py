@@ -29,6 +29,7 @@ from multiprocessing import connection as _mp_connection
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.faults import injection as _fault_injection
+from repro.obs import telemetry as _telemetry
 
 #: attempt/unit states of the supervision taxonomy
 DONE = "done"
@@ -100,19 +101,29 @@ def _run_attempt(worker, payload, attempt, conn) -> None:
     dies with whichever worker the supervisor happens to kill mid-send,
     wedging every other worker; per-attempt pipes make kills free of
     cross-worker collateral.
+
+    When the parent was recording telemetry, the forked child swaps in a
+    fresh recorder (:func:`repro.obs.telemetry.child_begin`) and ships its
+    exported span subtree as the third tuple element; the parent stitches
+    it under the attempt's span.  A killed worker ships nothing — the
+    parent-side attempt span still records the kill, so the assembled
+    trace stays coherent.
     """
     _fault_injection.set_attempt(attempt)
+    _telemetry.child_begin()
     try:
-        value = worker(payload)
+        with _telemetry.span("worker.attempt", attempt=attempt):
+            value = worker(payload)
         status = "ok"
     except BaseException as error:  # noqa: BLE001 - reported, never silent
         value = f"{type(error).__name__}: {error}"
         status = "error"
+    trace = _telemetry.child_export()
     try:
-        conn.send((status, value))
+        conn.send((status, value, trace))
     except Exception:  # pragma: no cover - unpicklable worker result
         try:
-            conn.send(("error", "worker result not picklable"))
+            conn.send(("error", "worker result not picklable", trace))
         except Exception:
             pass
     finally:
@@ -187,9 +198,11 @@ class WorkerSupervisor:
         except OSError as error:
             self.spawn_failures += 1
             self.last_spawn_error = f"{type(error).__name__}: {error}"
+            _telemetry.counter("supervisor.spawn_failures")
             return None
         self.spawn_failures = 0
         self.spawned += 1
+        _telemetry.counter("supervisor.spawns")
         return process
 
     def stop(self, process, grace: Optional[float] = None) -> None:
@@ -202,6 +215,7 @@ class WorkerSupervisor:
             process.join(grace)
             if process.is_alive():
                 self.kills += 1
+                _telemetry.counter("supervisor.kills")
                 kill = getattr(process, "kill", process.terminate)
                 try:
                     kill()
@@ -250,11 +264,57 @@ class WorkerSupervisor:
         active: Dict[int, object] = {}
         degraded = False
 
+        # parent-side trace assembly: one explicit-parent span per unit, one
+        # per attempt (attempts of different units overlap, so the thread
+        # stack cannot hold them); a worker's exported subtree is stitched
+        # under its attempt span, and kills/timeouts — where the child ships
+        # nothing — are recorded by the parent-side span alone
+        recorder = _telemetry.get_recorder()
+        map_parent = recorder.current_span() if recorder is not None else None
+        unit_spans: Dict[int, object] = {}
+        attempt_spans: Dict[int, object] = {}
+
+        def unit_span(index: int):
+            if recorder is None:
+                return None
+            span = unit_spans.get(index)
+            if span is None:
+                span = recorder.start_span(
+                    "supervisor.unit", parent=map_parent, unit=index
+                )
+                unit_spans[index] = span
+            return span
+
+        def begin_attempt_span(index: int, attempt: int, pid=None) -> None:
+            if recorder is None:
+                return
+            attempt_spans[index] = recorder.start_span(
+                "supervisor.attempt",
+                parent=unit_span(index),
+                unit=index,
+                attempt=attempt,
+                **({"worker_pid": pid} if pid is not None else {}),
+            )
+
+        def end_attempt_span(index: int, state: str, trace=None) -> None:
+            _telemetry.counter(f"supervisor.attempts.{state}")
+            if recorder is None:
+                return
+            span = attempt_spans.pop(index, None)
+            if span is None:
+                return
+            if trace:
+                recorder.attach(trace, span)
+            span.finish(outcome=state)
+
         def finalize(index: int, state: str, value=None, reason: str = "") -> None:
             outcomes[index].state = state
             outcomes[index].value = value
             outcomes[index].reason = reason
             finished[index] = True
+            span = unit_spans.pop(index, None)
+            if span is not None:
+                span.finish(outcome=state)
 
         def record_attempt(index: int, state: str, reason: str = "") -> None:
             slot = slots[index]
@@ -279,6 +339,7 @@ class WorkerSupervisor:
                 slot.not_before = time.monotonic() + self.retry.backoff(slot.attempt)
                 slot.dead_since = None
                 self.retries_launched += 1
+                _telemetry.counter("supervisor.retries")
                 pending.append(index)
                 emit("retry", unit=index, attempt=slot.attempt, state=state)
             else:
@@ -302,14 +363,22 @@ class WorkerSupervisor:
                 )
             payload = slot.payload if rebudget is None else rebudget(slot.payload, allowance)
             _fault_injection.set_attempt(slot.attempt)
+            begin_attempt_span(index, slot.attempt)
+            degraded_span = attempt_spans.get(index)
             try:
-                value = worker(payload)
+                if recorder is not None and degraded_span is not None:
+                    with recorder.under(degraded_span):
+                        value = worker(payload)
+                else:
+                    value = worker(payload)
                 record_attempt(index, DEGRADED)
+                end_attempt_span(index, DEGRADED)
                 finalize(index, DONE, value=value)
                 outcomes[index].degraded = True
             except Exception as error:  # noqa: BLE001 - reported, never silent
                 reason = f"{type(error).__name__}: {error}"
                 record_attempt(index, CRASHED, reason)
+                end_attempt_span(index, CRASHED)
                 finalize(index, CRASHED, reason=reason)
                 outcomes[index].degraded = True
             finally:
@@ -374,6 +443,7 @@ class WorkerSupervisor:
                 slot.dead_since = None
                 active[index] = process
                 launched_any = True
+                begin_attempt_span(index, slot.attempt, pid=process.pid)
                 emit(
                     "attempt",
                     unit=index,
@@ -409,12 +479,15 @@ class WorkerSupervisor:
                 index = by_conn[conn]
                 slot = slots[index]
                 try:
-                    status, value = conn.recv()
+                    message = conn.recv()
                 except (EOFError, OSError):
                     # the worker died mid-send; the reaper below classifies it
                     slot.close_conn()
                     continue
                 slot.close_conn()
+                # (status, value) pre-telemetry, (status, value, trace) now
+                status, value = message[0], message[1]
+                trace = message[2] if len(message) > 2 else None
                 process = active.pop(index, None)
                 if process is not None:
                     self.stop(process, grace=self.grace)
@@ -424,12 +497,15 @@ class WorkerSupervisor:
                     )
                     if rejection is None:
                         record_attempt(index, DONE)
+                        end_attempt_span(index, DONE, trace=trace)
                         finalize(index, DONE, value=value)
                         emit("done", unit=index, attempt=slot.attempt)
                     else:
                         outcomes[index].value = value
+                        end_attempt_span(index, TIMED_OUT, trace=trace)
                         retire_or_retry(index, TIMED_OUT, reason=rejection)
                 else:
+                    end_attempt_span(index, CRASHED, trace=trace)
                     retire_or_retry(index, CRASHED, reason=str(value))
 
             # reap deaths and enforce attempt deadlines
@@ -440,6 +516,7 @@ class WorkerSupervisor:
                     active.pop(index)
                     slot.close_conn()
                     self.stop(process)
+                    end_attempt_span(index, TIMED_OUT)
                     retire_or_retry(
                         index, TIMED_OUT, reason="attempt deadline exceeded"
                     )
@@ -453,6 +530,7 @@ class WorkerSupervisor:
                     active.pop(index)
                     slot.close_conn()
                     process.join()
+                    end_attempt_span(index, CRASHED)
                     retire_or_retry(
                         index, CRASHED, reason="worker died without reporting"
                     )
@@ -461,4 +539,12 @@ class WorkerSupervisor:
         for index, process in active.items():  # pragma: no cover - loop drains
             slots[index].close_conn()
             self.stop(process)
+            end_attempt_span(index, CRASHED)
+        for index in list(unit_spans):  # pragma: no cover - finalize closes these
+            finalize(
+                index,
+                outcomes[index].state,
+                value=outcomes[index].value,
+                reason=outcomes[index].reason,
+            )
         return outcomes

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.exprs import evaluate
 from repro.netlist import TransitionSystem
+from repro.obs import telemetry as _telemetry
 from repro.netlist.simulate import Simulator
 from repro.kernels.build import (
     KernelUnavailable,
@@ -63,7 +64,10 @@ def get_kernel(
     key = kernel_key(system, KERNEL_ABI_VERSION)
     kernel = _KERNEL_CACHE.get(key)
     if kernel is None:
-        kernel = CompiledKernel(system, cache_dir=cache_dir)
+        with _telemetry.span(
+            "kernels.build", design=getattr(system, "name", "?")
+        ):
+            kernel = CompiledKernel(system, cache_dir=cache_dir)
         _KERNEL_CACHE[key] = kernel
     return kernel
 
@@ -116,38 +120,52 @@ def checked_replay(
     always comes from a tier that agreed with the reference semantics.
     """
     demotions: List[str] = []
-    if use_compiled:
-        try:
-            kernel = get_kernel(system, cache_dir=cache_dir)
-            run = kernel.replay_checked(input_sequence, stop_on_violation=False)
-            return ReplayOutcome(
-                "compiled", run.first_violation, run.violated_property, demotions
-            )
-        except KernelUnavailable as error:
-            demotions.append(f"compiled unavailable: {error}")
-        except KernelMismatch as error:
-            demotions.append(f"compiled demoted: {error}")
-    if use_packed:
-        from repro.netlist.bitsim import (
-            PackedSimulator,
-            SimulationMismatch,
-            crosscheck_lane,
-        )
-
-        try:
-            packed = PackedSimulator(system, lanes=1)
-            run = packed.replay(input_sequence)
-            crosscheck_lane(system, run, lane=0, cycles=8)
-            if run.violation is not None:
+    with _telemetry.span(
+        "kernels.replay",
+        design=getattr(system, "name", "?"),
+        cycles=len(input_sequence),
+    ) as replay_span:
+        if use_compiled:
+            try:
+                kernel = get_kernel(system, cache_dir=cache_dir)
+                run = kernel.replay_checked(input_sequence, stop_on_violation=False)
+                _telemetry.counter("kernels.served.compiled")
+                replay_span.set_outcome("compiled")
                 return ReplayOutcome(
-                    "packed",
-                    run.violation.cycle,
-                    run.violation.property_name,
-                    demotions,
+                    "compiled", run.first_violation, run.violated_property, demotions
                 )
-            return ReplayOutcome("packed", None, None, demotions)
-        except SimulationMismatch as error:
-            demotions.append(f"packed demoted: {error}")
-    outcome = _scalar_replay(system, input_sequence)
-    outcome.demotions = demotions
-    return outcome
+            except KernelUnavailable as error:
+                demotions.append(f"compiled unavailable: {error}")
+                _telemetry.counter("kernels.demotions.compiled_unavailable")
+            except KernelMismatch as error:
+                demotions.append(f"compiled demoted: {error}")
+                _telemetry.counter("kernels.demotions.compiled_mismatch")
+        if use_packed:
+            from repro.netlist.bitsim import (
+                PackedSimulator,
+                SimulationMismatch,
+                crosscheck_lane,
+            )
+
+            try:
+                packed = PackedSimulator(system, lanes=1)
+                run = packed.replay(input_sequence)
+                crosscheck_lane(system, run, lane=0, cycles=8)
+                _telemetry.counter("kernels.served.packed")
+                replay_span.set_outcome("packed")
+                if run.violation is not None:
+                    return ReplayOutcome(
+                        "packed",
+                        run.violation.cycle,
+                        run.violation.property_name,
+                        demotions,
+                    )
+                return ReplayOutcome("packed", None, None, demotions)
+            except SimulationMismatch as error:
+                demotions.append(f"packed demoted: {error}")
+                _telemetry.counter("kernels.demotions.packed_mismatch")
+        outcome = _scalar_replay(system, input_sequence)
+        outcome.demotions = demotions
+        _telemetry.counter("kernels.served.scalar")
+        replay_span.set_outcome("scalar")
+        return outcome

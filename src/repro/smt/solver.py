@@ -16,6 +16,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exprs.nodes import Expr
+from repro.obs import telemetry as _telemetry
 from repro.sat.solver import Solver, SolverInterrupted, SolverResult
 from repro.smt.bitblaster import BitBlaster
 
@@ -144,21 +145,56 @@ class BVSolver:
         expr_assumptions: Sequence[Expr] = (),
         conflict_limit: Optional[int] = None,
     ) -> str:
-        """Solve under SAT-literal and/or word-level assumptions."""
+        """Solve under SAT-literal and/or word-level assumptions.
+
+        Each call is timed under a ``solver.check`` span when telemetry is
+        recording, and the :class:`~repro.sat.solver.SolverStats` deltas it
+        produced (conflicts, propagations, decisions, ...) are promoted to
+        ``solver.*`` counters — at the call boundary, never inside the CDCL
+        loops, so the solver hot path is untouched.
+        """
         literal_assumptions = list(assumptions)
         for expr in expr_assumptions:
             literal_assumptions.append(self.blaster.blast_bool(expr))
-        try:
-            return self.solver.solve(
-                assumptions=literal_assumptions,
-                conflict_limit=conflict_limit,
-                deadline=self._deadline,
+        if _telemetry.get_recorder() is None:
+            try:
+                return self.solver.solve(
+                    assumptions=literal_assumptions,
+                    conflict_limit=conflict_limit,
+                    deadline=self._deadline,
+                )
+            except SolverInterrupted:
+                # the engines treat an expired budget as UNKNOWN and convert
+                # it to their TIMEOUT verdict; the solver backtracked to
+                # level 0 before raising, so it stays usable
+                return SolverResult.UNKNOWN
+        stats_before = self.solver.stats.as_dict()
+        with _telemetry.span(
+            "solver.check",
+            assumptions=len(literal_assumptions),
+            clauses=self.solver.num_clauses,
+        ) as check_span:
+            try:
+                result = self.solver.solve(
+                    assumptions=literal_assumptions,
+                    conflict_limit=conflict_limit,
+                    deadline=self._deadline,
+                )
+            except SolverInterrupted:
+                result = SolverResult.UNKNOWN
+            check_span.set_outcome(result)
+            stats_after = self.solver.stats.as_dict()
+            _telemetry.add_counters(
+                {
+                    name: stats_after[name] - stats_before.get(name, 0)
+                    for name in stats_after
+                    if isinstance(stats_after[name], (int, float))
+                },
+                prefix="solver.",
             )
-        except SolverInterrupted:
-            # the engines treat an expired budget as UNKNOWN and convert it
-            # to their TIMEOUT verdict; the solver backtracked to level 0
-            # before raising, so it stays usable
-            return SolverResult.UNKNOWN
+            _telemetry.counter("solver.checks")
+            _telemetry.counter(f"solver.result.{result}")
+        return result
 
     def check_expr(self, expr: Expr, conflict_limit: Optional[int] = None) -> str:
         """Check satisfiability of the current constraints plus ``expr``."""

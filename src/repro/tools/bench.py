@@ -102,6 +102,8 @@ from repro.engines.portfolio import (
 from repro.engines.registry import list_engines, make_engine
 from repro.engines.result import Status
 from repro.jsonio import write_json_atomic
+from repro.obs import log as _log
+from repro.obs import telemetry as _telemetry
 from repro.smt import BVResult
 
 #: default designs for the deep-unroll comparison (encode-dominated datapaths)
@@ -221,7 +223,7 @@ def run_bmc_section(
             == (legacy["verdict"], legacy["bound"]),
         }
         rows.append(row)
-        print(
+        _log.info(
             f"bmc {name:12s} depth={depth} [{representation}] "
             f"template={row['template']['total_s']:.3f}s "
             f"legacy={row['legacy']['total_s']:.3f}s "
@@ -263,7 +265,7 @@ def run_engine_section(names: List[str], engines: List[str], timeout: float) -> 
                 "expected": benchmark.expected,
             }
             rows.append(row)
-            print(
+            _log.info(
                 f"eng {engine_name:13s} {name:12s} "
                 f"template={row['template']['runtime_s']:.3f}s/{row['template']['status']} "
                 f"legacy={row['legacy']['runtime_s']:.3f}s/{row['legacy']['status']} "
@@ -343,7 +345,7 @@ def run_portfolio_section(
             ),
         }
         rows.append(row)
-        print(
+        _log.info(
             f"pfl {name:12s} portfolio={portfolio.runtime:.3f}s/{portfolio.status} "
             f"winner={portfolio.winner} best_single={best_single} "
             f"slowest_winning={slowest_winning} "
@@ -446,7 +448,7 @@ def run_certify_section(
                 "certified": certified,
             }
         )
-        print(
+        _log.info(
             f"cert {name:12s} definitive={len(definitive)}/{len(engines)} "
             f"correct={correct} certified={certified} "
             f"{'OK' if certified == len(definitive) == correct else 'FAIL'}"
@@ -471,7 +473,7 @@ def run_adjudication_demo(design: str, bound: int, timeout: float) -> Dict[str, 
     )
     result = runner.run(VerificationTask.benchmark(design))
     adjudicated = result.status == expected and "adjudication" in result.detail
-    print(
+    _log.info(
         f"adj  {design:12s} injected={wrong_claim} portfolio={result.status} "
         f"winner={result.winner} {'OK' if adjudicated else 'FAIL'}"
     )
@@ -721,7 +723,7 @@ def run_incremental_bmc_section(
             ) == 1,
         }
         rows.append(row)
-        print(
+        _log.info(
             f"bmc  {name:12s} depth={depth} "
             f"session={modes['session']['total_s']:.3f}s "
             f"template={modes['template']['total_s']:.3f}s "
@@ -763,7 +765,7 @@ def run_incremental_kinduction_section(
             ) == 1,
         }
         rows.append(row)
-        print(
+        _log.info(
             f"kind {name:12s} depth={depth} "
             f"session={modes['session']['total_s']:.3f}s "
             f"template={modes['template']['total_s']:.3f}s "
@@ -810,7 +812,7 @@ def run_incremental_kiki_section(
             "verdicts_match": len({m["status"] for m in modes.values()}) == 1,
         }
         rows.append(row)
-        print(
+        _log.info(
             f"kiki {name:12s} depth={depth} "
             f"session={modes['session']['runtime_s']:.3f}s "
             f"legacy={modes['legacy']['runtime_s']:.3f}s "
@@ -849,7 +851,7 @@ def run_incremental_sweep(bound: int, timeout: float) -> List[Dict]:
             }
         matches = sum(1 for row in engines.values() if row["verdicts_match"])
         rows.append({"benchmark": name, "engines": engines, "matches": matches})
-        print(
+        _log.info(
             f"swp  {name:12s} {matches}/{len(SWEEP_ENGINES)} engines "
             f"session==legacy"
         )
@@ -1008,7 +1010,7 @@ def run_serve_sweeps(
         )
         report = runner.run(items)
         sweeps[label] = {**report.to_json(), "cache_stats": cache.stats()}
-        print(
+        _log.info(
             f"serve {label:5s} {len(report.items)} items in {report.wall_s:.3f}s: "
             f"{report.cache_hits} hits / {report.cache_misses} misses, "
             f"verdicts {'OK' if report.all_correct else 'WRONG'}"
@@ -1107,7 +1109,7 @@ def run_ladder_section(
             ),
         }
         rows.append(row)
-        print(
+        _log.info(
             f"ldr  {name:12s} ladder={row['ladder']['wall_s']:.3f}s/"
             f"cpu {row['ladder']['cpu_s']}s rung={decided_rung} "
             f"fanout={row['fanout']['wall_s']:.3f}s/cpu {row['fanout']['cpu_s']}s "
@@ -1171,7 +1173,7 @@ def run_minimization_section(
             ),
         }
         rows.append(row)
-        print(
+        _log.info(
             f"min  {name:12s} {engine_name:5s} {minimization.original_size} -> "
             f"{minimization.size} conjuncts, validate "
             f"{validate_original_s * 1e3:.1f}ms -> {validate_minimized_s * 1e3:.1f}ms "
@@ -1402,7 +1404,7 @@ def run_chaos_sweep(
         },
         "ok": ok,
     }
-    print(
+    _log.info(
         f"chaos seed {seed}: {len(rows)} items in {wall:.3f}s, "
         f"{report.retries} retries, {report.degraded} degraded, "
         f"verdicts {'OK' if report.all_correct else 'WRONG'}"
@@ -1449,7 +1451,7 @@ def run_hang_interrupt_demo(timeout: float) -> Dict[str, object]:
             and result.status not in (Status.SAFE, Status.UNSAFE)
         ),
     }
-    print(
+    _log.info(
         f"hang demo: wedged k-induction on buffalloc interrupted after "
         f"{wall:.3f}s (budget {budget:.1f}s), verdict {result.status}, "
         f"process survived: {row['pid_preserved']}"
@@ -1637,7 +1639,7 @@ def run_kernels_section(
             if kernel_s
             else "kernel unavailable"
         )
-        print(
+        _log.info(
             f"kernels {name:14s} scalar {scalar_s:8.3f}s  packed "
             f"{packed_s:8.4f}s ({row['packed_speedup']}x)  {kernel_note}  "
             f"verdicts {'agree' if verdicts_agree else 'DIVERGE'}"
@@ -1682,7 +1684,7 @@ def run_kernels_rsim_section(names: List[str], timeout: float) -> List[Dict]:
             "found_and_validated": result.status == Status.UNSAFE and validated,
         }
         rows.append(row)
-        print(
+        _log.info(
             f"rsim    {name:14s} {result.status:8s} in {wall:.3f}s "
             f"(cycle {row['violation_cycle']}, {row['vectors']} vectors), "
             f"witness {'validated' if validated else 'NOT VALIDATED'}"
@@ -1778,6 +1780,180 @@ def write_kernels_report(
     return all_ok
 
 
+# ---------------------------------------------------------------------------
+# observability mode: telemetry overhead gates (--obs)
+# ---------------------------------------------------------------------------
+
+#: designs for the enabled-vs-disabled overhead sweeps (small and fast, so
+#: the telemetry fraction of the wall is as visible as it ever gets)
+DEFAULT_OBS_BENCHMARKS = ["daio", "tlc", "proc3", "rcu", "buffalloc", "arbiter"]
+
+
+def _obs_noop_costs(iterations: int = 200_000) -> Dict[str, float]:
+    """Per-call cost (ns) of the disabled telemetry API: the no-op tax."""
+    assert _telemetry.get_recorder() is None, "micro-benchmark needs telemetry off"
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with _telemetry.span("bench.noop"):
+            pass
+    span_ns = (time.perf_counter() - t0) / iterations * 1e9
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        _telemetry.counter("bench.noop")
+    counter_ns = (time.perf_counter() - t0) / iterations * 1e9
+    return {
+        "iterations": iterations,
+        "span_ns": round(span_ns, 2),
+        "counter_ns": round(counter_ns, 2),
+    }
+
+
+def run_obs_section(
+    names: List[str],
+    bound: int,
+    timeout: float,
+    jobs: Optional[int],
+    trace_out: str,
+) -> Dict[str, object]:
+    """Sweep the suite with telemetry off and on; measure what tracing costs.
+
+    The *same* batch sweep (sequential ladder per item, warm pool, no cache
+    so every item really runs) is timed twice: once with the recorder
+    disabled — the shipping default — and once recording, with the full
+    cross-process trace assembled, exported to ``trace_out`` and linted.
+    A micro-benchmark prices the disabled no-op calls so the report can
+    bound the tax telemetry puts on users who never turn it on.
+    """
+    from repro.engines.batch import BatchItem, BatchRunner
+    from repro.obs.export import lint_trace, load_trace, summarize_trace, write_trace
+
+    noop = _obs_noop_costs()
+
+    def sweep() -> Tuple[float, object]:
+        runner = BatchRunner(jobs=jobs, timeout=timeout, bound=bound)
+        t0 = time.monotonic()
+        report = runner.run([BatchItem.benchmark(name) for name in names])
+        return time.monotonic() - t0, report
+
+    disabled_wall, disabled_report = sweep()
+    _log.info(
+        f"obs  disabled sweep: {len(disabled_report.items)} items "
+        f"in {disabled_wall:.3f}s"
+    )
+
+    with _telemetry.recording() as recorder:
+        enabled_wall, enabled_report = sweep()
+        write_trace(
+            recorder,
+            trace_out,
+            meta={"tool": "repro.tools.bench", "mode": "obs", "designs": names},
+        )
+    _log.info(
+        f"obs  enabled sweep:  {len(enabled_report.items)} items "
+        f"in {enabled_wall:.3f}s -> {trace_out}"
+    )
+
+    trace = load_trace(trace_out)
+    problems = lint_trace(trace)
+    rollup = summarize_trace(trace, top=10)
+    # price the disabled mode: every span the enabled run recorded is one
+    # no-op span call (plus its counter bumps) the disabled run paid for
+    counter_bumps = len(trace.counters)
+    estimated_noop_s = (
+        len(trace.spans) * noop["span_ns"] + counter_bumps * noop["counter_ns"]
+    ) / 1e9
+    return {
+        "designs": names,
+        "noop_costs": noop,
+        "disabled": {
+            "wall_s": round(disabled_wall, 6),
+            "verdicts": {
+                f"{d}:{p}": status
+                for (d, p), status in disabled_report.verdicts().items()
+            },
+        },
+        "enabled": {
+            "wall_s": round(enabled_wall, 6),
+            "verdicts": {
+                f"{d}:{p}": status
+                for (d, p), status in enabled_report.verdicts().items()
+            },
+            "trace": trace_out,
+            "spans": len(trace.spans),
+            "processes": rollup["processes"],
+            "dropped_spans": trace.header.get("dropped_spans", 0),
+            "lint_problems": problems,
+            "rollup": rollup,
+        },
+        "estimated_disabled_overhead_s": round(estimated_noop_s, 6),
+    }
+
+
+def write_obs_report(
+    section: Dict[str, object], out: str, bound: int, timeout: float
+) -> bool:
+    disabled = section["disabled"]
+    enabled = section["enabled"]
+    disabled_wall = disabled["wall_s"]
+    enabled_wall = enabled["wall_s"]
+    # 0.5s absolute slack keeps the ratio gate meaningful on fast suites
+    # where scheduler jitter alone exceeds 10% of the wall
+    enabled_ok = enabled_wall <= disabled_wall * 1.10 + 0.5
+    overhead = section["estimated_disabled_overhead_s"]
+    disabled_ok = overhead <= max(disabled_wall, 1e-9) * 0.01
+    lint_ok = not enabled["lint_problems"]
+    verdicts_ok = disabled["verdicts"] == enabled["verdicts"]
+    gates = {
+        "enabled_overhead": {
+            "enabled_wall_s": enabled_wall,
+            "disabled_wall_s": disabled_wall,
+            "max_ratio": 1.10,
+            "ok": enabled_ok,
+        },
+        "disabled_overhead": {
+            "estimated_s": overhead,
+            "max_fraction": 0.01,
+            "ok": disabled_ok,
+        },
+        "trace_lint": {"problems": enabled["lint_problems"], "ok": lint_ok},
+        "verdict_agreement": {"ok": verdicts_ok},
+    }
+    all_ok = all(gate["ok"] for gate in gates.values())
+    report = {
+        "config": {
+            "mode": "obs",
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "bound": bound,
+            "timeout_s": timeout,
+        },
+        "obs": section,
+        "summary": {
+            "designs": len(section["designs"]),
+            "spans_recorded": enabled["spans"],
+            "processes": enabled["processes"],
+            "enabled_vs_disabled": (
+                round(enabled_wall / disabled_wall, 4) if disabled_wall else None
+            ),
+            "gates": gates,
+            "all_ok": all_ok,
+        },
+    }
+    write_json_atomic(out, report)
+    ratio = report["summary"]["enabled_vs_disabled"]
+    print(
+        f"\nwrote {out}: enabled {enabled_wall:.3f}s vs disabled "
+        f"{disabled_wall:.3f}s ({ratio}x), {enabled['spans']} spans across "
+        f"{enabled['processes']} process(es), "
+        f"lint {'clean' if lint_ok else 'PROBLEMS'}, "
+        f"verdicts {'agree' if verdicts_ok else 'DIVERGE'}, "
+        f"disabled tax ~{overhead * 1e3:.2f}ms -> "
+        f"{'OK' if all_ok else 'FAILED'}"
+    )
+    return all_ok
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -1824,6 +2000,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--seeds", type=int, default=3,
         help="--faults: number of seeded chaos sweeps (seeds 0..N-1)",
+    )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="observability mode: sweep the suite with telemetry disabled and "
+             "enabled, lint the exported trace, and gate the recording "
+             "overhead (enabled <= 1.10x disabled wall; disabled no-op tax "
+             "<= 1%% of the sweep)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="--obs: path for the exported trace "
+             "(default BENCH_obs_trace.jsonl)",
     )
     parser.add_argument(
         "--kernels", action="store_true",
@@ -1897,17 +2085,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--skip-engines", action="store_true", help="only run the BMC section"
     )
+    _log.add_verbosity_flags(parser)
     args = parser.parse_args(argv)
+    _log.configure_from_args(args)
 
     modes = (
         args.portfolio, args.certify, args.incremental, args.serve,
-        args.faults, args.kernels,
+        args.faults, args.kernels, args.obs,
     )
     if sum(map(bool, modes)) > 1:
         parser.error(
-            "--portfolio, --certify, --incremental, --serve, --faults and "
-            "--kernels are mutually exclusive"
+            "--portfolio, --certify, --incremental, --serve, --faults, "
+            "--kernels and --obs are mutually exclusive"
         )
+
+    if args.obs:
+        bound = args.depth if args.depth is not None else 80
+        names = args.benchmarks if args.benchmarks else DEFAULT_OBS_BENCHMARKS
+        unknown = [n for n in names if n not in benchmark_names()]
+        if unknown:
+            parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+        trace_out = args.trace_out or "BENCH_obs_trace.jsonl"
+        section = run_obs_section(names, bound, args.timeout, args.jobs, trace_out)
+        out = args.out or "BENCH_obs.json"
+        return 0 if write_obs_report(section, out, bound, args.timeout) else 1
 
     if args.kernels:
         names = args.benchmarks if args.benchmarks else benchmark_names()

@@ -12,7 +12,9 @@ Subcommands
     finds everything and a second one comes back clean.
 
 ``stats``
-    Print the store's entry count, byte size, caps, and quarantine backlog.
+    Print the store's entry count, byte size, caps, quarantine backlog, and
+    the lifetime serving counters (hits, misses, stores, demotions,
+    revalidation outcomes) persisted in ``counters.json`` at the cache root.
 
 ``evict``
     Apply ``--max-entries``/``--max-bytes`` LRU caps once, printing the
@@ -28,6 +30,7 @@ from typing import List, Optional
 
 from repro.cache import ResultCache
 from repro.cache.store import QUARANTINE_DIR
+from repro.obs import log as _log
 
 
 def _print_json(document: object) -> None:
@@ -62,6 +65,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     backend = cache.store_backend
+    lifetime = cache.persistent.as_dict()
     document = {
         "root": backend.root,
         "entries": len(backend),
@@ -69,12 +73,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "max_entries": backend.max_entries,
         "max_bytes": backend.max_bytes,
         "quarantine_backlog": len(backend.quarantine_keys()),
+        "lifetime": lifetime,
     }
     if args.json:
         _print_json(document)
     else:
         for name, value in document.items():
+            if name == "lifetime":
+                continue
             print(f"{name}: {value}")
+        served = lifetime.get("hits", 0) + lifetime.get("misses", 0)
+        print(
+            f"lifetime: {lifetime.get('hits', 0)} hit(s) / "
+            f"{lifetime.get('misses', 0)} miss(es) over {served} lookup(s), "
+            f"{lifetime.get('stores', 0)} store(s), "
+            f"{lifetime.get('demotions', 0)} demotion(s), "
+            f"revalidations {lifetime.get('revalidations_ok', 0)} ok / "
+            f"{lifetime.get('revalidations_failed', 0)} failed"
+        )
     return 0
 
 
@@ -128,6 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache-dir", metavar="DIR", required=True,
         help="root directory of the certificate store",
     )
+    _log.add_verbosity_flags(parser)
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_json_flag(subparser: argparse.ArgumentParser) -> None:
@@ -163,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     purge.set_defaults(run=_cmd_purge_quarantine)
 
     args = parser.parse_args(argv)
+    _log.configure_from_args(args)
     return args.run(args)
 
 

@@ -62,6 +62,8 @@ from repro.engines import (
 )
 from repro.engines.portfolio import bound_options
 from repro.jsonio import write_text_atomic
+from repro.obs import log as _log
+from repro.obs import telemetry as _telemetry
 
 #: exit codes by final status (0 = validated expected verdict, 2 = WRONG,
 #: 3 = inconclusive/error), so CI scripts can gate on the result category
@@ -327,16 +329,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-certificate", metavar="PATH", default=None,
                         help="write the certificate JSON to PATH (witnesses also "
                              "get an AIGER .cex stimulus next to it)")
-    parser.add_argument("-v", "--verbose", action="store_true",
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record structured telemetry (spans + counters) for the whole "
+             "run and write a repro-trace-v1 JSONL file; inspect it with "
+             "repro-trace summarize/lint/flame",
+    )
+    parser.add_argument("--verbose", action="store_true",
                         help="print per-engine SAT solver statistics (conflicts, "
                              "propagations, decisions, restarts, clause-DB "
-                             "reductions, minimized literals, retired activations)")
-    parser.add_argument("--quiet", action="store_true", help="suppress progress events")
+                             "reductions, minimized literals, retired activations); "
+                             "implies -v")
+    parser.add_argument("--quiet", action="store_true",
+                        help="legacy spelling of -q: suppress progress events")
+    _log.add_verbosity_flags(parser)
     parser.add_argument("--list-engines", action="store_true",
                         help="list registered engines with aliases and capabilities")
     parser.add_argument("--list-designs", action="store_true",
                         help="list the built-in benchmark designs")
     args = parser.parse_args(argv)
+    _log.configure_from_args(args)
+    # --verbose historically also meant the solver-stats view; keep both
+    # spellings pointing at the same dial
+    args.verbose = args.verbose or _log.is_verbose()
 
     if args.list_engines:
         _print_engine_table()
@@ -366,6 +381,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             "through the result cache (--cache-dir) instead"
         )
 
+    if args.trace:
+        from repro.obs.export import write_trace
+
+        with _telemetry.recording() as recorder:
+            try:
+                with _telemetry.span(
+                    "cli.verify", mode=(modes[0] if modes else "--portfolio")
+                ):
+                    return _dispatch(parser, args, modes)
+            finally:
+                write_trace(recorder, args.trace, meta={"tool": "repro-verify"})
+                _log.info(f"wrote trace {args.trace}")
+    return _dispatch(parser, args, modes)
+
+
+def _dispatch(parser: argparse.ArgumentParser, args, modes: List[str]) -> int:
+    """Run the selected driver; factored out so --trace can wrap it."""
     cache = None
     if args.cache_dir:
         from repro.cache import ResultCache
@@ -395,7 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             system = task.load()
         except Exception as error:  # noqa: BLE001 - loader/parse failures
-            print(f"error: cannot load {task.name!r}: {error}", file=sys.stderr)
+            _log.error(f"error: cannot load {task.name!r}: {error}")
             return 1
         property_name = args.property_name or (
             system.properties[0].name if system.properties else None
@@ -405,7 +437,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if lookup.hit:
                 result = lookup.result
                 result.status = _classify(result.status, expected)
-                print(
+                _log.info(
                     f"cache hit for {task.name!r} (key {lookup.key[:12]}..., "
                     f"certificate re-validated in {lookup.runtime_s:.3f}s)"
                 )
@@ -421,13 +453,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     _save_certificate(args.save_certificate, task, result)
                 return _EXIT_CODES.get(result.status, 1)
             note = " (stale entry dropped)" if lookup.demoted else ""
-            print(f"cache miss for {task.name!r}{note}; verifying")
+            _log.info(f"cache miss for {task.name!r}{note}; verifying")
 
     if args.engine:
         try:
             registration = get_registration(args.engine)
         except KeyError as error:
-            print(f"error: {error}", file=sys.stderr)
+            _log.error(f"error: {error}")
             return 1
         # the shared depth cap is *routed* (each engine keeps the key it
         # understands); explicitly passed options are validated strictly
@@ -444,12 +476,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             system = task.load()
             engine = make_engine(args.engine, system, **options)
         except EngineOptionError as error:
-            print(f"error: {error}", file=sys.stderr)
+            _log.error(f"error: {error}")
             return 1
         except Exception as error:  # noqa: BLE001 - loader/parse failures
-            print(f"error: cannot load {task.name!r}: {error}", file=sys.stderr)
+            _log.error(f"error: cannot load {task.name!r}: {error}")
             return 1
-        print(
+        _log.info(
             f"verifying {task.name!r} with engine {args.engine} "
             f"(timeout {args.timeout:g}s)"
         )
@@ -472,14 +504,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     def on_event(event: Dict[str, object]) -> None:
-        if args.quiet:
-            return
         kind = event.pop("event")
         label = event.pop("label", "")
         rung = event.pop("rung", None)
         prefix = f"rung {rung} " if rung is not None else ""
         extras = ", ".join(f"{key}={value}" for key, value in event.items() if value)
-        print(f"  [{time.strftime('%H:%M:%S')}] {prefix}{kind:9s} {label:24s} {extras}")
+        _log.verbose(
+            f"  [{time.strftime('%H:%M:%S')}] {prefix}{kind:9s} {label:24s} {extras}"
+        )
 
     if args.ladder:
         from repro.engines import default_budget_ladder, learn_priors
@@ -500,7 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         schedule = " -> ".join(
             f"[{', '.join(rung.labels)}]" for rung in ladder
         )
-        print(
+        _log.info(
             f"budget ladder on {task.name!r} (timeout {args.timeout:g}s): {schedule}"
         )
     else:
@@ -515,7 +547,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             expected=expected,
             on_event=on_event,
         )
-        print(
+        _log.info(
             f"racing {len(configs)} configurations on {task.name!r} "
             f"(timeout {args.timeout:g}s{', cross-check' if args.cross_check else ''})"
         )

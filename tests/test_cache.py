@@ -371,10 +371,11 @@ def test_verify_cli_single_query_cache(tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     argv = ["daio", "--engine", "bmc", "--bound", "70", "--cache-dir", cache_dir]
     assert main(argv) == 0
-    first = capsys.readouterr().out
-    assert "cache miss" in first and "cached under key" in first
+    first = capsys.readouterr()
+    # progress narration goes to stderr; the result lines own stdout
+    assert "cache miss" in first.err and "cached under key" in first.out
     assert main(argv) == 0
-    second = capsys.readouterr().out
+    second = capsys.readouterr().err
     assert "cache hit" in second and "re-validated" in second
 
 
@@ -385,12 +386,12 @@ def test_verify_cli_portfolio_representations_cache_roundtrip(tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     argv = [
         "daio", "--portfolio", "--representations", "word",
-        "--bound", "80", "--cache-dir", cache_dir, "--quiet",
+        "--bound", "80", "--cache-dir", cache_dir,
     ]
     assert main(argv) == 0
     assert "cached under key" in capsys.readouterr().out
     assert main(argv) == 0
-    assert "cache hit" in capsys.readouterr().out
+    assert "cache hit" in capsys.readouterr().err
 
 
 def test_verify_cli_batch_respects_property_scope(tmp_path, capsys):
@@ -503,9 +504,9 @@ def test_verify_cli_cache_hit_still_certifies(tmp_path, capsys):
     assert main(argv) == 0
     capsys.readouterr()
     assert main(argv) == 0
-    out = capsys.readouterr().out
-    assert "cache hit" in out
-    assert "certification:" in out and "VALIDATED" in out
+    captured = capsys.readouterr()
+    assert "cache hit" in captured.err
+    assert "certification:" in captured.out and "VALIDATED" in captured.out
 
 
 def test_verify_cli_batch_twice_all_hits(tmp_path, capsys):
