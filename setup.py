@@ -16,6 +16,7 @@ setup(
         "console_scripts": [
             "repro-bench = repro.tools.bench:main",
             "repro-cache = repro.tools.cache_cli:main",
+            "repro-serve = repro.tools.serve_cli:main",
             "repro-trace = repro.tools.trace_cli:main",
             "repro-verify = repro.tools.verify_cli:main",
         ]

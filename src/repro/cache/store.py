@@ -15,6 +15,13 @@ and over — the store never crashes on garbage and keeps the evidence for
 ``repro-cache fsck``.  Optional ``max_entries``/``max_bytes`` caps turn the
 store into an LRU: loads touch the entry file's mtime and :meth:`evict`
 drops the least-recently-used entries over the caps.
+
+Concurrency: the atomic per-entry writes already make single mutations safe,
+but *compound* mutations — LRU eviction scanning then deleting, quarantine
+moves — can race when several server workers and batch runs share one store
+root.  Every mutating operation therefore runs under an advisory
+inter-process file lock (``<root>/.lock``, ``fcntl.flock``); readers stay
+lock-free, so a hot lookup path never serializes on a writer.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -29,11 +37,67 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.certs import CertificateError, certificate_from_json, certificate_to_json
 from repro.faults import injection as _fault_injection
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: degrade to process-local
+    fcntl = None
+
 #: format tag of a store entry document
 ENTRY_FORMAT = "repro-cache-entry-v1"
 
 #: shard directory quarantined (undecodable) entries are moved into
 QUARANTINE_DIR = "quarantine"
+
+#: name of the advisory inter-process lock file at the store root
+LOCK_FILENAME = ".lock"
+
+
+class StoreLock:
+    """Advisory inter-process lock on a store root (reentrant per thread).
+
+    ``flock`` locks belong to the open file description, so every
+    acquisition opens its own descriptor — two threads of one process
+    exclude each other exactly like two processes do.  Reentrancy (``save``
+    runs ``evict`` while already holding the lock) is tracked per thread.
+    Without :mod:`fcntl` (non-POSIX) the lock degrades to a per-process
+    :class:`threading.Lock`, which still serializes server worker threads.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.path = os.path.join(root, LOCK_FILENAME)
+        self._local = threading.local()
+        self._fallback = threading.RLock()
+
+    def __enter__(self) -> "StoreLock":
+        depth = getattr(self._local, "depth", 0)
+        if depth == 0:
+            if fcntl is None:
+                self._fallback.acquire()
+            else:
+                fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                except OSError:  # pragma: no cover - exotic filesystem
+                    os.close(fd)
+                    raise
+                self._local.fd = fd
+        self._local.depth = depth + 1
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        depth = getattr(self._local, "depth", 1) - 1
+        self._local.depth = depth
+        if depth == 0:
+            if fcntl is None:
+                self._fallback.release()
+            else:
+                fd = self._local.fd
+                self._local.fd = None
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                finally:
+                    os.close(fd)
+        return False
 
 
 @dataclass
@@ -120,6 +184,7 @@ class CertificateStore:
         self.evictions = 0
         self.quarantined = 0
         os.makedirs(root, exist_ok=True)
+        self.lock = StoreLock(root)
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> str:
@@ -179,11 +244,12 @@ class CertificateStore:
         """
         source = self.path_for(key)
         target = self.quarantine_path_for(key)
-        try:
-            os.makedirs(os.path.dirname(target), exist_ok=True)
-            os.replace(source, target)
-        except OSError:
-            return None
+        with self.lock:
+            try:
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                os.replace(source, target)
+            except OSError:
+                return None
         self.quarantined += 1
         return target
 
@@ -202,30 +268,32 @@ class CertificateStore:
         if not entry.created_s:
             entry.created_s = time.time()
         payload = json.dumps(entry.to_json(), indent=2) + "\n"
-        fd, temp_path = tempfile.mkstemp(
-            dir=os.path.dirname(path), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(temp_path, path)
-        except BaseException:
+        with self.lock:
+            fd, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
-        _fault_injection.tamper_saved_entry(path, entry.key, payload)
-        self.evict()
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+            _fault_injection.tamper_saved_entry(path, entry.key, payload)
+            self.evict()
         return path
 
     def delete(self, key: str) -> bool:
         """Drop one entry (used to demote an entry that failed revalidation)."""
-        try:
-            os.unlink(self.path_for(key))
-            return True
-        except OSError:
-            return False
+        with self.lock:
+            try:
+                os.unlink(self.path_for(key))
+                return True
+            except OSError:
+                return False
 
     # ------------------------------------------------------------------
     def _entry_files(self) -> List[Tuple[float, int, str, str]]:
@@ -258,18 +326,19 @@ class CertificateStore:
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
         if max_entries is None and max_bytes is None:
             return []
-        rows = self._entry_files()
-        total = sum(size for _, size, _, _ in rows)
-        evicted: List[str] = []
-        while rows and (
-            (max_entries is not None and len(rows) > max_entries)
-            or (max_bytes is not None and total > max_bytes)
-        ):
-            _, size, key, _ = rows.pop(0)
-            if self.delete(key):
-                self.evictions += 1
-                evicted.append(key)
-            total -= size
+        with self.lock:
+            rows = self._entry_files()
+            total = sum(size for _, size, _, _ in rows)
+            evicted: List[str] = []
+            while rows and (
+                (max_entries is not None and len(rows) > max_entries)
+                or (max_bytes is not None and total > max_bytes)
+            ):
+                _, size, key, _ = rows.pop(0)
+                if self.delete(key):
+                    self.evictions += 1
+                    evicted.append(key)
+                total -= size
         return evicted
 
     # ------------------------------------------------------------------

@@ -44,8 +44,10 @@ from repro.engines.portfolio import (
 from repro.engines.registry import make_engine
 from repro.engines.result import Budget, Status, VerificationResult
 from repro.engines.supervision import (
+    CANCELLED as _UNIT_CANCELLED,
     TIMED_OUT as _UNIT_TIMED_OUT,
     RetryPolicy,
+    SupervisedOutcome,
     WorkerSupervisor,
 )
 from repro.obs import telemetry as _telemetry
@@ -321,6 +323,86 @@ def _batch_worker(
     return index, result
 
 
+def _result_from_outcome(
+    outcome: SupervisedOutcome, property_name: Optional[str]
+) -> VerificationResult:
+    """Map a supervised unit that never reported into the result taxonomy.
+
+    Used when ``outcome.value`` is ``None`` — the worker crashed, timed out,
+    or the unit was cancelled before any attempt answered.  The supervision
+    state surfaces through an ordinary :class:`VerificationResult`, never a
+    silent skip.
+    """
+    if outcome.state == _UNIT_TIMED_OUT:
+        status = Status.TIMEOUT
+    elif outcome.state == _UNIT_CANCELLED:
+        status = Status.UNKNOWN
+    else:
+        status = Status.ERROR
+    runtime = sum(a.get("runtime_s", 0.0) for a in outcome.attempts)
+    return VerificationResult(
+        status,
+        "batch",
+        property_name or "",
+        runtime=runtime,
+        reason=(
+            f"worker {outcome.state} after {len(outcome.attempts)} attempt(s)"
+            + (f": {outcome.reason}" if outcome.reason else "")
+        ),
+    )
+
+
+def run_supervised_unit(
+    task: VerificationTask,
+    property_name: Optional[str],
+    rungs: Sequence[LadderRung],
+    timeout: Optional[float] = None,
+    attempt_timeout: Optional[float] = None,
+    certify: bool = False,
+    supervisor: Optional[WorkerSupervisor] = None,
+    context=None,
+    retry: Optional[RetryPolicy] = None,
+    abort=None,
+    on_event=None,
+) -> Tuple[VerificationResult, SupervisedOutcome]:
+    """Run one ``(task, property)`` unit in a supervised worker process.
+
+    This is the single-unit form of the batch pool: one payload through
+    :meth:`WorkerSupervisor.run_map` with the same rebudgeting (the attempt
+    allowance is threaded into the ladder so engines and solvers arm their
+    cooperative deadlines) and the same semantic acceptance test (a ladder
+    that returned no definitive verdict is retried under the remaining
+    budget).  The serve layer runs every admitted request through here, so
+    a server request gets exactly the deadline/kill/retry hygiene of a
+    batch unit — plus ``abort`` for client-disconnect cancellation.
+    """
+    if supervisor is None:
+        if context is None:
+            start_methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in start_methods else "spawn"
+            )
+        supervisor = WorkerSupervisor(context, retry=retry)
+    payload = (0, task, property_name, tuple(rungs), timeout, certify)
+    outcomes = supervisor.run_map(
+        [payload],
+        _batch_worker,
+        jobs=1,
+        timeout=timeout,
+        attempt_timeout=attempt_timeout,
+        rebudget=lambda p, allowance: p[:4] + (allowance,) + p[5:],
+        accept=_accept_definitive,
+        abort=abort,
+        on_event=on_event,
+    )
+    outcome = outcomes[0]
+    if outcome.value is not None:
+        _, result = outcome.value
+    else:
+        result = _result_from_outcome(outcome, property_name)
+    return result, outcome
+
+
 def _accept_definitive(payload, value) -> Optional[str]:
     """Supervision acceptance test for a batch worker's answer.
 
@@ -573,25 +655,7 @@ class BatchRunner:
                 else:
                     # the unit never reported: surface the supervision state
                     # through the ordinary result taxonomy, never skip it
-                    status = (
-                        Status.TIMEOUT
-                        if outcome.state == _UNIT_TIMED_OUT
-                        else Status.ERROR
-                    )
-                    runtime = sum(
-                        a.get("runtime_s", 0.0) for a in outcome.attempts
-                    )
-                    result = VerificationResult(
-                        status,
-                        "batch",
-                        property_name or "",
-                        runtime=runtime,
-                        reason=(
-                            f"worker {outcome.state} after "
-                            f"{len(outcome.attempts)} attempt(s)"
-                            + (f": {outcome.reason}" if outcome.reason else "")
-                        ),
-                    )
+                    result = _result_from_outcome(outcome, property_name)
                 row = self._finish(task, property_name, expected, result)
                 row.supervision = outcome.to_json()
                 report.items[index] = row

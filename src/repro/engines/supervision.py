@@ -22,6 +22,8 @@ unhealthy) — a fault is never a silent skip.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -36,6 +38,7 @@ DONE = "done"
 CRASHED = "crashed"
 TIMED_OUT = "timed-out"
 DEGRADED = "degraded"
+CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -109,6 +112,14 @@ def _run_attempt(worker, payload, attempt, conn) -> None:
     parent-side attempt span still records the kill, so the assembled
     trace stays coherent.
     """
+    # a fork child inherits the parent's Python signal handlers *and* its
+    # asyncio wakeup fd; without a reset, the SIGTERM this supervisor sends
+    # to stop the child would be written into the parent's shared wakeup
+    # pipe and fire the parent's own SIGTERM callback (observed as a serve
+    # driver draining itself every time it stopped a worker)
+    signal.set_wakeup_fd(-1)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, signal.SIG_DFL)
     _fault_injection.set_attempt(attempt)
     _telemetry.child_begin()
     try:
@@ -158,7 +169,12 @@ class _Slot:
 
 
 class WorkerSupervisor:
-    """Process supervision shared by the portfolio and batch drivers."""
+    """Process supervision shared by the portfolio, batch and serve drivers."""
+
+    #: serializes process launches across threads — the serve layer runs one
+    #: supervisor per request thread, and concurrent forks from a threaded
+    #: parent are where fork-time lock snapshots bite
+    _SPAWN_LOCK = threading.Lock()
 
     #: consecutive spawn failures after which the pool is unhealthy
     UNHEALTHY_AFTER = 3
@@ -194,7 +210,8 @@ class WorkerSupervisor:
             if _fault_injection.fail_spawn(f"spawn:{self.spawned}:{self.spawn_failures}"):
                 raise OSError("injected spawn failure")
             process = self.context.Process(target=target, args=args, daemon=daemon)
-            process.start()
+            with self._SPAWN_LOCK:
+                process.start()
         except OSError as error:
             self.spawn_failures += 1
             self.last_spawn_error = f"{type(error).__name__}: {error}"
@@ -236,6 +253,7 @@ class WorkerSupervisor:
         on_event: Optional[Callable[[Dict[str, object]], None]] = None,
         poll_interval: float = 0.05,
         kill_grace: float = 2.0,
+        abort: Optional[threading.Event] = None,
     ) -> List[SupervisedOutcome]:
         """Run every payload through ``worker`` under supervision.
 
@@ -251,6 +269,13 @@ class WorkerSupervisor:
         value is kept as the unit's fallback answer if every retry fails).
         If spawning goes unhealthy, the remaining units run in-process
         (``degraded`` state) so the map always completes.
+
+        ``abort`` (a :class:`threading.Event`, settable from another thread)
+        cancels the whole map cooperatively: at the next poll tick every
+        active worker is kill-escalated and every unfinished unit is
+        finalized in the ``cancelled`` state.  This is how the serve layer
+        tears a computation down when its last waiting client disconnects —
+        the cancellation is an explicit outcome, never a leaked process.
         """
 
         def emit(event: str, **fields) -> None:
@@ -386,6 +411,26 @@ class WorkerSupervisor:
             emit("degraded", unit=index, state=outcomes[index].state)
 
         while pending or active:
+            if abort is not None and abort.is_set():
+                # cooperative cancellation: kill the active attempts, close
+                # every unfinished unit as ``cancelled``, and stop launching
+                for index, process in list(active.items()):
+                    active.pop(index)
+                    slots[index].close_conn()
+                    self.stop(process)
+                    end_attempt_span(index, CANCELLED)
+                    record_attempt(index, CANCELLED, "aborted by caller")
+                for index in range(len(slots)):
+                    if not finished[index]:
+                        finalize(
+                            index,
+                            CANCELLED,
+                            value=outcomes[index].value,
+                            reason="aborted by caller",
+                        )
+                pending.clear()
+                emit("aborted", units=len(slots))
+                break
             now = time.monotonic()
 
             # launch what fits; degrade when the pool is unhealthy

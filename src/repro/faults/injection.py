@@ -23,10 +23,13 @@ from repro.faults.plan import (
     CACHE_CORRUPT,
     CACHE_TRUNCATE,
     CERT_FORGE,
+    CLIENT_DISCONNECT,
     CRASH,
     HANG,
     HANG_HARD,
+    JOURNAL_TORN,
     KERNEL_MISCOMPILE,
+    QUEUE_FLOOD,
     SLOW_START,
     SPAWN_FAIL,
     WORKER_KILL,
@@ -203,6 +206,46 @@ def forge_kernel_output(key: str) -> bool:
     """
     plan = _PLAN
     return plan is not None and plan.decide(KERNEL_MISCOMPILE, key, _ATTEMPT)
+
+
+def client_disconnect(key: str) -> bool:
+    """Whether a soak client should hang up mid-request at site ``key``.
+
+    Consulted by the serve-soak harness (the *client* side of the chaos):
+    a fired fault sends the request and closes the connection without
+    reading the reply, so the server must detect the disconnect and cancel
+    or complete the computation without wedging or leaking.
+    """
+    plan = _PLAN
+    return plan is not None and plan.decide(CLIENT_DISCONNECT, key, _ATTEMPT)
+
+
+def queue_flood(key: str) -> bool:
+    """Whether the soak harness should fire an extra flood burst at ``key``."""
+    plan = _PLAN
+    return plan is not None and plan.decide(QUEUE_FLOOD, key, _ATTEMPT)
+
+
+def torn_journal_append(path: str, key: str) -> bool:
+    """Tear the tail off the journal record just appended to ``path``.
+
+    Consulted by :meth:`repro.serve.journal.RequestJournal.append` after the
+    line hits the file: a fired fault truncates the file mid-line, exactly
+    what a crash between ``write`` and completing the record leaves behind.
+    Recovery must tolerate the torn tail (skip it, count it) — the journaled
+    request it belonged to then reads as never-accepted, which is safe: the
+    client never got an accept reply either.
+    """
+    plan = _PLAN
+    if plan is None or not plan.decide(JOURNAL_TORN, key, _ATTEMPT):
+        return False
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(max(0, size - 7))
+    except OSError:  # pragma: no cover - journal raced away
+        return False
+    return True
 
 
 def tamper_saved_entry(path: str, key: str, payload: str) -> Optional[str]:

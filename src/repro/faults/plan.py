@@ -34,6 +34,14 @@ CERT_FORGE = "cert-forge"
 #: corrupt a compiled kernel's replay output (the scalar cross-check must
 #: catch it and demote the query to the pure-Python tier, never change it)
 KERNEL_MISCOMPILE = "kernel-miscompile"
+#: serve: the client hangs up mid-request (the server must cancel cleanly)
+CLIENT_DISCONNECT = "client-disconnect"
+#: serve: a burst of extra requests beyond the admission cap (the server
+#: must answer with explicit ``overloaded`` rejections, never queue unbounded)
+QUEUE_FLOOD = "queue-flood"
+#: serve: tear the tail off a just-appended journal record (simulates a
+#: crash mid-append; recovery must skip the torn line, never refuse to start)
+JOURNAL_TORN = "journal-torn"
 
 FAULT_KINDS = (
     CRASH,
@@ -46,6 +54,9 @@ FAULT_KINDS = (
     CACHE_TRUNCATE,
     CERT_FORGE,
     KERNEL_MISCOMPILE,
+    CLIENT_DISCONNECT,
+    QUEUE_FLOOD,
+    JOURNAL_TORN,
 )
 
 

@@ -1,0 +1,151 @@
+"""Blocking client for the ``repro-serve-v1`` protocol.
+
+One :class:`ServeClient` wraps one connection.  The protocol allows
+pipelining (replies carry request ids), but this client keeps the simple
+synchronous shape the CLI and the soak harness need: :meth:`verify` sends
+one request and blocks until its ``result`` frame (matching by id, so a
+server that interleaves other frames is handled).  Use one client per
+thread for concurrency — that is exactly how the soak harness generates
+load.
+"""
+
+from __future__ import annotations
+
+import socket
+import uuid
+from typing import Optional
+
+from repro.serve.protocol import (
+    OP_DRAIN,
+    OP_PING,
+    OP_STATS,
+    OP_VERIFY,
+    ProtocolError,
+    read_frame_blocking,
+    write_frame_blocking,
+)
+
+
+class ServeError(RuntimeError):
+    """The server rejected a request or the connection broke mid-call."""
+
+    def __init__(self, message: str, reply: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.reply = reply
+
+
+class ServeClient:
+    """One blocking connection to a verify server (unix socket or TCP)."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if socket_path:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._socket.settimeout(timeout)
+            self._socket.connect(socket_path)
+        elif host:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+        else:
+            raise ValueError("client needs a unix socket path or a TCP host")
+        self._stream = self._socket.makefile("rwb")
+        #: frames read while waiting for a different request's reply — the
+        #: server answers in completion order, a pipelining caller reads in
+        #: submission order, so out-of-order results are parked here by id
+        self._parked: dict = {}
+        self.hello = self._read()
+        if not isinstance(self.hello, dict) or "protocol" not in self.hello:
+            raise ProtocolError(f"server sent no hello frame: {self.hello!r}")
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _read(self) -> dict:
+        frame = read_frame_blocking(self._stream)
+        if frame is None:
+            raise ServeError("server closed the connection")
+        if not isinstance(frame, dict):
+            raise ProtocolError(f"expected an object frame, got {frame!r}")
+        return frame
+
+    def _send(self, document: dict) -> None:
+        write_frame_blocking(self._stream, document)
+
+    def _read_until(self, op: str, request_id: Optional[str] = None) -> dict:
+        if request_id is not None:
+            parked = self._parked.pop((op, request_id), None)
+            if parked is not None:
+                return parked
+        while True:
+            frame = self._read()
+            if frame.get("op") == op and (
+                request_id is None or frame.get("id") == request_id
+            ):
+                return frame
+            if frame.get("op") == "rejected" and (
+                request_id is None or frame.get("id") == request_id
+            ):
+                raise ServeError(
+                    f"request rejected: {frame.get('reason')}", reply=frame
+                )
+            if frame.get("ok") is False:
+                raise ServeError(str(frame.get("error")), reply=frame)
+            other_id = frame.get("id")
+            if other_id is not None and frame.get("op"):
+                self._parked[(frame["op"], other_id)] = frame
+
+    # ------------------------------------------------------------------
+    def submit(self, request: dict) -> dict:
+        """Send one verify request; returns the ``accepted`` frame.
+
+        Raises :class:`ServeError` on rejection (``reply["reason"]`` is
+        ``"overloaded"`` under admission control, ``"draining"`` during
+        shutdown).  Follow with :meth:`result` to block for the verdict.
+        """
+        request = dict(request)
+        request["op"] = OP_VERIFY
+        request.setdefault("id", f"req-{uuid.uuid4().hex[:12]}")
+        self._send(request)
+        return self._read_until("accepted", request["id"])
+
+    def result(self, request_id: str) -> dict:
+        """Block for the ``result`` frame of one accepted request."""
+        return self._read_until("result", request_id)
+
+    def verify(self, **request) -> dict:
+        """Submit one request and block for its result (the common path)."""
+        accepted = self.submit(request)
+        return self.result(accepted["id"])
+
+    def ping(self) -> dict:
+        self._send({"op": OP_PING})
+        return self._read_until("pong")
+
+    def stats(self) -> dict:
+        self._send({"op": OP_STATS})
+        return self._read_until("stats")["stats"]
+
+    def drain(self) -> dict:
+        """Ask the server to drain and shut down gracefully."""
+        self._send({"op": OP_DRAIN})
+        return self._read_until("draining")

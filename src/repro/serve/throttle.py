@@ -1,0 +1,81 @@
+"""Adaptive concurrency throttle driven by observed attempt latency.
+
+The server's worker pool faces a classic feedback problem: more concurrent
+supervised verifications raise throughput until the machine saturates, after
+which every computation just runs slower (and closer to its deadline).  The
+throttle closes the loop the way Scrapy's AutoThrottle does for request
+delay: observe the latency of completed work, keep an exponentially-weighted
+moving average, and steer concurrency toward the level where observed
+latency sits at the configured target — shrink while latency is above
+target, grow back while it is comfortably below.
+
+Adjustments are deliberately coarse (±1, at most once per observation
+window) so a single slow verification cannot collapse the pool, and the
+concurrency is clamped to ``[min_concurrency, max_concurrency]`` so the
+server never throttles itself to a standstill nor grows past the configured
+pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class AdaptiveThrottle:
+    """EWMA-latency feedback controller for the worker-pool concurrency."""
+
+    def __init__(
+        self,
+        min_concurrency: int = 1,
+        max_concurrency: int = 4,
+        target_latency_s: float = 5.0,
+        alpha: float = 0.3,
+        window: int = 4,
+    ) -> None:
+        if min_concurrency < 1 or max_concurrency < min_concurrency:
+            raise ValueError("need 1 <= min_concurrency <= max_concurrency")
+        self.min_concurrency = min_concurrency
+        self.max_concurrency = max_concurrency
+        self.target_latency_s = target_latency_s
+        self.alpha = alpha
+        self.window = max(1, window)
+        self.concurrency = max_concurrency
+        self.ewma_latency_s: Optional[float] = None
+        self.observations = 0
+        self.adjustments = 0
+        self._since_adjust = 0
+
+    def observe(self, latency_s: float) -> int:
+        """Feed one completed computation's latency; returns the new target."""
+        latency_s = max(0.0, float(latency_s))
+        if self.ewma_latency_s is None:
+            self.ewma_latency_s = latency_s
+        else:
+            self.ewma_latency_s += self.alpha * (latency_s - self.ewma_latency_s)
+        self.observations += 1
+        self._since_adjust += 1
+        if self._since_adjust < self.window:
+            return self.concurrency
+        if self.ewma_latency_s > self.target_latency_s:
+            proposed = self.concurrency - 1
+        elif self.ewma_latency_s < self.target_latency_s / 2.0:
+            proposed = self.concurrency + 1
+        else:
+            return self.concurrency
+        proposed = min(self.max_concurrency, max(self.min_concurrency, proposed))
+        if proposed != self.concurrency:
+            self.concurrency = proposed
+            self.adjustments += 1
+        self._since_adjust = 0
+        return self.concurrency
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "concurrency": self.concurrency,
+            "min": self.min_concurrency,
+            "max": self.max_concurrency,
+            "target_latency_s": self.target_latency_s,
+            "ewma_latency_s": self.ewma_latency_s,
+            "observations": self.observations,
+            "adjustments": self.adjustments,
+        }

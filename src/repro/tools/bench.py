@@ -61,6 +61,18 @@ sweep ends with a definitive, independently validated verdict per item
 cache, and a hang wedged into an in-process SAT solve is broken by the
 cooperative deadline without killing the process.
 
+``--serve-soak`` soaks a *live* ``repro-serve`` server (a subprocess in its
+own process group) with the chaos plan installed server-side: K identical
+concurrent queries must coalesce to exactly one computation, warm hits are
+latency-sampled (p50 recorded), an over-capacity flood must draw explicit
+``overloaded`` rejections, seeded client disconnects and a too-tight
+deadline must resolve cleanly, and a graceful drain must leave the journal
+empty, the trace lint-clean and the process group extinct.  The server is
+then SIGKILLed mid-flight and restarted on the same journal, which must
+NACK every accepted-but-unanswered request.  ``BENCH_server.json`` gates on
+all of it: every accept answered-or-cleanly-rejected, zero WRONG verdicts,
+zero leaked processes, zero orphan spans, full journal recovery.
+
 ``--kernels`` measures the raw-speed replay tiers: per design, one random
 workload (``--lanes`` sequences x ``--cycles`` cycles) is replayed through
 the scalar reference interpreter, the bit-parallel packed simulator
@@ -1512,6 +1524,499 @@ def write_faults_report(
 
 
 # ---------------------------------------------------------------------------
+# --serve-soak: chaos soak against a live repro-serve server
+# ---------------------------------------------------------------------------
+
+#: chaos rates installed *in the soaked server* (engine-site faults retried
+#: under supervision plus the journal-tear); the client-disconnect draws run
+#: in the harness process against distinct per-design sites
+SOAK_SERVER_RATES = (
+    "crash=0.25,slow-start=0.3,worker-kill=0.25,cert-forge=0.25,"
+    "journal-torn=0.2"
+)
+SOAK_COALESCE_DESIGN = "mac16"
+SOAK_COALESCE_CLIENTS = 8
+SOAK_DISCONNECT_DESIGNS = ["proc3", "rcu", "fifo", "iqueue", "arbiter", "barrel16"]
+
+
+def _start_soak_server(args_list: List[str]) -> "subprocess.Popen":
+    """Launch one server subprocess in its own session (= process group).
+
+    The fresh session is the leak oracle: after a drain or a kill, every
+    process the server ever forked must be gone, which
+    :func:`_soak_group_gone` checks by signalling the whole group.
+    """
+    import subprocess
+    import sys
+
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.serve_cli", *args_list],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+
+
+def _soak_group_gone(pgid: int, grace_s: float = 20.0) -> bool:
+    """True when no process of the server's group survives within the grace."""
+    import signal as signal_module
+
+    deadline = time.monotonic() + grace_s
+    while time.monotonic() < deadline:
+        try:
+            os.killpg(pgid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:  # pragma: no cover - zombie group
+            pass
+        time.sleep(0.1)
+    try:
+        os.killpg(pgid, signal_module.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        return True
+    return False
+
+
+def _soak_wait_socket(path: str, timeout_s: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _soak_classify(design: str, reply: Dict[str, object]) -> str:
+    """Apply the WRONG classification to a server reply (suite ground truth)."""
+    status = str(reply.get("status", Status.ERROR))
+    expected = get_benchmark(design).expected
+    if status in Status.DEFINITIVE and status != expected:
+        return Status.WRONG
+    return status
+
+
+def run_serve_soak(
+    seed: int, timeout: float, workdir: str
+) -> Dict[str, object]:
+    """The full soak: graceful chaos run, SIGKILL mid-flight, recovery run.
+
+    Run A starts a chaos-seeded server and drives it through the acceptance
+    scenarios — K-client coalescing, a warm-hit latency sample, an
+    over-capacity flood, seeded client disconnects, a too-tight deadline —
+    then drains it gracefully.  Run B accepts slow requests and SIGKILLs
+    the whole server group mid-flight, leaving the journal with open
+    entries.  Run C restarts on that journal and must NACK every one.
+    Every gate lands in the returned row; :func:`write_server_report`
+    aggregates them.
+    """
+    import statistics
+    import signal as signal_module
+
+    from repro.faults.injection import client_disconnect, plan_installed
+    from repro.faults.plan import CLIENT_DISCONNECT, FaultPlan
+    from repro.obs.export import lint_trace, load_trace
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.journal import RequestJournal
+
+    sock = os.path.join(workdir, "serve.sock")
+    cache_dir = os.path.join(workdir, "cache")
+    journal_a = os.path.join(workdir, "journal_a.jsonl")
+    trace_a = os.path.join(workdir, "trace_a.jsonl")
+    row: Dict[str, object] = {"seed": seed}
+
+    # ----- run A: chaos-seeded serving until graceful drain --------------
+    server = _start_soak_server([
+        "--socket", sock, "--cache-dir", cache_dir,
+        "--journal", journal_a, "--trace", trace_a,
+        "--max-queue", "4", "--workers", "1:2",
+        "--target-latency", "5",
+        "--default-deadline", str(timeout),
+        "--attempt-timeout", str(max(3.0, timeout / 4.0)),
+        "--certify",
+        "--chaos", str(seed), "--chaos-rates", SOAK_SERVER_RATES,
+        "-q",
+    ])
+    pgid_a = server.pid
+    if not _soak_wait_socket(sock):
+        server.kill()
+        row["error"] = "run A server never opened its socket"
+        row["ok"] = False
+        return row
+
+    wrong: List[str] = []
+
+    _log.verbose(f"soak seed {seed}: run A up (pid {server.pid})")
+
+    # A.1 coalescing: K concurrent identical cold queries, one computation
+    import threading
+
+    barrier = threading.Barrier(SOAK_COALESCE_CLIENTS)
+    coalesce_replies: List[Dict[str, object]] = []
+    coalesce_accepts: List[Dict[str, object]] = []
+    lock = threading.Lock()
+
+    def coalesce_client() -> None:
+        with ServeClient(socket_path=sock) as client:
+            barrier.wait()
+            accepted = client.submit(
+                {"design": SOAK_COALESCE_DESIGN, "bound": 96,
+                 "deadline_s": max(60.0, timeout)}
+            )
+            reply = client.result(accepted["id"])
+            with lock:
+                coalesce_accepts.append(accepted)
+                coalesce_replies.append(reply)
+
+    threads = [
+        threading.Thread(target=coalesce_client)
+        for _ in range(SOAK_COALESCE_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=max(120.0, timeout * 3))
+    with ServeClient(socket_path=sock) as client:
+        stats_after_k = client.stats()
+    computations_k = stats_after_k["counters"]["computations"]
+    coalesced_k = sum(1 for a in coalesce_accepts if a.get("coalesced"))
+    for reply in coalesce_replies:
+        if _soak_classify(SOAK_COALESCE_DESIGN, reply) == Status.WRONG:
+            wrong.append(f"{SOAK_COALESCE_DESIGN}: {reply.get('status')}")
+    coalesce_ok = (
+        len(coalesce_replies) == SOAK_COALESCE_CLIENTS
+        and computations_k == 1
+        and coalesced_k == SOAK_COALESCE_CLIENTS - 1
+    )
+    row["coalesce"] = {
+        "clients": SOAK_COALESCE_CLIENTS,
+        "computations": computations_k,
+        "coalesced": coalesced_k,
+        "ratio": round(coalesced_k / SOAK_COALESCE_CLIENTS, 3),
+        "ok": coalesce_ok,
+    }
+
+    _log.verbose("soak: coalesce phase done")
+
+    # A.2 warm path: repeated hits served from the validated-cert cache
+    warm_latencies: List[float] = []
+    warm_sources: List[str] = []
+    with ServeClient(socket_path=sock) as client:
+        for _ in range(20):
+            t0 = time.perf_counter()
+            reply = client.verify(
+                design=SOAK_COALESCE_DESIGN, bound=96,
+                deadline_s=max(60.0, timeout),
+            )
+            warm_latencies.append(time.perf_counter() - t0)
+            warm_sources.append(str(reply.get("source")))
+            if _soak_classify(SOAK_COALESCE_DESIGN, reply) == Status.WRONG:
+                wrong.append(f"warm {SOAK_COALESCE_DESIGN}: {reply.get('status')}")
+    warm_p50 = statistics.median(warm_latencies)
+    row["warm"] = {
+        "queries": len(warm_latencies),
+        "all_cache_hits": all(s == "cache" for s in warm_sources),
+        "p50_s": round(warm_p50, 6),
+        "max_s": round(max(warm_latencies), 6),
+        "ok": all(s == "cache" for s in warm_sources) and warm_p50 <= 2.0,
+    }
+
+    _log.verbose("soak: warm phase done")
+
+    # A.3 flood: distinct keys past the queue cap; overload must be explicit
+    flood_targets = [
+        (name, rep)
+        for rep in ("word", "bit")
+        for name in benchmark_names()
+    ]
+    flood_accepted: List[Tuple[str, str]] = []
+    flood_rejected = 0
+    with ServeClient(socket_path=sock) as client:
+        for name, rep in flood_targets:
+            try:
+                accepted = client.submit(
+                    {"design": name, "representation": rep, "bound": 64,
+                     "deadline_s": min(20.0, timeout), "priority": "bulk"}
+                )
+                flood_accepted.append((name, accepted["id"]))
+            except ServeError:
+                flood_rejected += 1
+        for name, request_id in flood_accepted:
+            reply = client.result(request_id)
+            if _soak_classify(name, reply) == Status.WRONG:
+                wrong.append(f"flood {name}: {reply.get('status')}")
+    row["flood"] = {
+        "submitted": len(flood_targets),
+        "accepted": len(flood_accepted),
+        "rejected_overloaded": flood_rejected,
+        "ok": flood_rejected >= 1 and len(flood_accepted) >= 1,
+    }
+
+    _log.verbose("soak: flood phase done")
+
+    # A.4 seeded client disconnects: hang up mid-request, server must not
+    disconnects = 0
+    with plan_installed(FaultPlan(seed=seed, rates={CLIENT_DISCONNECT: 0.5})):
+        for name in SOAK_DISCONNECT_DESIGNS:
+            client = ServeClient(socket_path=sock)
+            try:
+                accepted = client.submit(
+                    {"design": name, "bound": 64,
+                     "deadline_s": min(30.0, timeout)}
+                )
+            except ServeError:
+                client.close()
+                continue
+            if client_disconnect(name):
+                disconnects += 1
+                client.close()  # vanish without reading the result
+            else:
+                reply = client.result(accepted["id"])
+                if _soak_classify(name, reply) == Status.WRONG:
+                    wrong.append(f"disconnect {name}: {reply.get('status')}")
+                client.close()
+    row["disconnects"] = {"fired": disconnects}
+
+    _log.verbose("soak: disconnect phase done")
+
+    # A.5 deadline: a too-tight budget must come back, on time, not wedge
+    t0 = time.perf_counter()
+    with ServeClient(socket_path=sock) as client:
+        reply = client.verify(
+            design="huffman_dec", representation="bit", bound=128,
+            deadline_s=0.2,
+        )
+    deadline_wall = time.perf_counter() - t0
+    row["deadline"] = {
+        "status": reply.get("status"),
+        "wall_s": round(deadline_wall, 6),
+        "ok": (
+            deadline_wall <= 0.2 + 15.0
+            and _soak_classify("huffman_dec", reply) != Status.WRONG
+        ),
+    }
+
+    _log.verbose("soak: deadline phase done")
+
+    # A.6 graceful drain: everything accepted was answered or cancelled
+    with ServeClient(socket_path=sock) as client:
+        final_stats = client.stats()
+        client.drain()
+    drain_rc = server.wait(timeout=max(120.0, timeout * 3))
+    counters = final_stats["counters"]
+    accounting_ok = (
+        counters["accepted"] == counters["answered"] + counters["cancelled"]
+    )
+    group_a_gone = _soak_group_gone(pgid_a)
+    trace_problems: List[str] = []
+    try:
+        trace_problems = lint_trace(load_trace(trace_a))
+    except (OSError, ValueError) as error:
+        trace_problems = [str(error)]
+    row["run_a"] = {
+        "counters": counters,
+        "throttle": final_stats["throttle"],
+        "accounting_ok": accounting_ok,
+        "drain_exit_code": drain_rc,
+        "journal_torn_injected": final_stats.get("journal", {}).get(
+            "torn_injected", 0
+        ),
+        "no_leaked_processes": group_a_gone,
+        "trace_problems": trace_problems,
+        "trace_clean": not trace_problems,
+    }
+    journal_a_open = len(RequestJournal(journal_a).replay().open_requests)
+    torn_injected = int(row["run_a"]["journal_torn_injected"])
+    # under journal-torn chaos a drained journal may legitimately keep open
+    # accepts: a tear eats the tail of the record just written AND merges the
+    # following append onto the same garbage line, so each tear can destroy up
+    # to two records — a destroyed *close* orphans its accept.  That is the
+    # at-least-once contract (a restart would NACK, never silently lose), so
+    # the gate is "opens explainable by tears", and exactly zero when no tear
+    # fired.
+    journal_a_ok = journal_a_open <= 2 * torn_injected
+    row["run_a"]["journal_open_after_drain"] = journal_a_open
+    row["run_a"]["journal_open_explained_by_tears"] = journal_a_ok
+
+    _log.verbose("soak: run A drained")
+
+    # ----- run B: SIGKILL mid-flight leaves the journal open -------------
+    journal_b = os.path.join(workdir, "journal_b.jsonl")
+    cache_b = os.path.join(workdir, "cache_b")
+    if os.path.exists(sock):
+        os.unlink(sock)
+    server_b = _start_soak_server([
+        "--socket", sock, "--cache-dir", cache_b,
+        "--journal", journal_b,
+        "--max-queue", "8", "--workers", "1:2",
+        "--default-deadline", "120", "-q",
+    ])
+    pgid_b = server_b.pid
+    kill_row: Dict[str, object] = {}
+    if not _soak_wait_socket(sock):
+        server_b.kill()
+        kill_row["error"] = "run B server never opened its socket"
+    else:
+        client = ServeClient(socket_path=sock)
+        client.submit({"design": "mac16", "representation": "bit",
+                       "bound": 120, "deadline_s": 120})
+        client.submit({"design": "huffman_dec", "representation": "bit",
+                       "bound": 120, "deadline_s": 120})
+        time.sleep(0.5)
+        try:
+            os.killpg(pgid_b, signal_module.SIGKILL)
+        except ProcessLookupError:
+            pass
+        client.close()
+        server_b.wait(timeout=30)
+    kill_row["no_survivors"] = _soak_group_gone(pgid_b)
+    open_after_kill = RequestJournal(journal_b).replay().open_requests
+    kill_row["journal_open_after_kill"] = len(open_after_kill)
+    kill_row["ok"] = (
+        kill_row.get("error") is None
+        and kill_row["no_survivors"]
+        and len(open_after_kill) >= 1
+    )
+    row["run_b"] = kill_row
+
+    _log.verbose("soak: run B killed")
+
+    # ----- run C: restart on the killed journal, NACK the orphans --------
+    trace_c = os.path.join(workdir, "trace_c.jsonl")
+    # a SIGKILLed server cannot unlink its socket; clear the stale file so
+    # the bind (and our readiness poll) see a fresh one
+    if os.path.exists(sock):
+        os.unlink(sock)
+    server_c = _start_soak_server([
+        "--socket", sock, "--cache-dir", cache_b,
+        "--journal", journal_b, "--recover", "nack",
+        "--trace", trace_c,
+        "--max-queue", "8", "--workers", "1:2", "-q",
+    ])
+    pgid_c = server_c.pid
+    restart_row: Dict[str, object] = {}
+    if not _soak_wait_socket(sock):
+        server_c.kill()
+        restart_row["error"] = "run C server never opened its socket"
+        restart_row["ok"] = False
+    else:
+        with ServeClient(socket_path=sock) as client:
+            stats_c = client.stats()
+            reply = client.verify(design="daio", deadline_s=max(60.0, timeout))
+            if _soak_classify("daio", reply) == Status.WRONG:
+                wrong.append(f"post-restart daio: {reply.get('status')}")
+            client.drain()
+        rc_c = server_c.wait(timeout=max(120.0, timeout * 3))
+        restart_row["recovered_nacked"] = stats_c["counters"]["recovered_nacked"]
+        restart_row["recovery"] = stats_c["recovery"]
+        restart_row["post_restart_status"] = reply.get("status")
+        restart_row["drain_exit_code"] = rc_c
+        restart_row["no_leaked_processes"] = _soak_group_gone(pgid_c)
+        try:
+            problems_c = lint_trace(load_trace(trace_c))
+        except (OSError, ValueError) as error:
+            problems_c = [str(error)]
+        restart_row["trace_problems"] = problems_c
+        restart_row["journal_open_after_drain"] = len(
+            RequestJournal(journal_b).replay().open_requests
+        )
+        restart_row["ok"] = (
+            restart_row["recovered_nacked"] == len(open_after_kill)
+            and rc_c == 0
+            and restart_row["no_leaked_processes"]
+            and not problems_c
+            and restart_row["journal_open_after_drain"] == 0
+        )
+    row["run_c"] = restart_row
+
+    row["_trace_a_path"] = trace_a
+    row["wrong_verdicts"] = wrong
+    row["ok"] = (
+        coalesce_ok
+        and row["warm"]["ok"]
+        and row["flood"]["ok"]
+        and row["deadline"]["ok"]
+        and accounting_ok
+        and drain_rc == 0
+        and group_a_gone
+        and not trace_problems
+        and journal_a_ok
+        and not wrong
+        and bool(kill_row.get("ok"))
+        and bool(restart_row.get("ok"))
+    )
+    _log.info(
+        f"serve soak seed {seed}: coalesce {coalesced_k}/{SOAK_COALESCE_CLIENTS} "
+        f"({computations_k} computation), warm p50 {warm_p50*1000:.1f}ms, "
+        f"{flood_rejected} overload rejection(s), {disconnects} disconnect(s), "
+        f"accounting {'ok' if accounting_ok else 'BROKEN'}, "
+        f"kill left {len(open_after_kill)} journaled, "
+        f"recovery nacked {restart_row.get('recovered_nacked', '?')}, "
+        f"{'OK' if row['ok'] else 'FAILED'}"
+    )
+    return row
+
+
+def write_server_report(
+    soak: Dict[str, object], out: str, timeout: float, trace_out: Optional[str]
+) -> bool:
+    """Write ``BENCH_server.json``; True when every soak gate held."""
+    trace_a_path = soak.pop("_trace_a_path", None)
+    all_ok = bool(soak.get("ok"))
+    report = {
+        "config": {
+            "mode": "serve-soak",
+            "cpus": os.cpu_count(),
+            "timeout_s": timeout,
+            "seed": soak.get("seed"),
+            "chaos_rates": SOAK_SERVER_RATES,
+            "python": platform.python_version(),
+        },
+        "tool": "repro.tools.bench --serve-soak",
+        "soak": soak,
+        "summary": {
+            "every_accept_resolved": bool(
+                soak.get("run_a", {}).get("accounting_ok")
+            ),
+            "coalescing_ratio": soak.get("coalesce", {}).get("ratio"),
+            "warm_p50_s": soak.get("warm", {}).get("p50_s"),
+            "overload_rejections": soak.get("flood", {}).get(
+                "rejected_overloaded"
+            ),
+            "zero_wrong_verdicts": not soak.get("wrong_verdicts"),
+            "zero_leaked_processes": bool(
+                soak.get("run_a", {}).get("no_leaked_processes")
+            )
+            and bool(soak.get("run_b", {}).get("no_survivors"))
+            and bool(soak.get("run_c", {}).get("no_leaked_processes")),
+            "traces_clean": bool(soak.get("run_a", {}).get("trace_clean"))
+            and not soak.get("run_c", {}).get("trace_problems"),
+            "journal_recovery_ok": bool(soak.get("run_b", {}).get("ok"))
+            and bool(soak.get("run_c", {}).get("ok")),
+            "all_ok": all_ok,
+        },
+    }
+    write_json_atomic(out, report)
+    if trace_out and isinstance(trace_a_path, str) and os.path.exists(trace_a_path):
+        import shutil
+
+        shutil.copyfile(trace_a_path, trace_out)
+        print(f"server trace (run A) copied to {trace_out}")
+    summary = report["summary"]
+    print(
+        f"\nwrote {out}: accept accounting "
+        f"{'ok' if summary['every_accept_resolved'] else 'BROKEN'}, "
+        f"coalescing {summary['coalescing_ratio']}, warm p50 "
+        f"{summary['warm_p50_s']}s, {summary['overload_rejections']} overload "
+        f"rejection(s), wrong verdicts "
+        f"{'none' if summary['zero_wrong_verdicts'] else 'PRESENT'}, leaks "
+        f"{'none' if summary['zero_leaked_processes'] else 'LEAKED'}, traces "
+        f"{'clean' if summary['traces_clean'] else 'DIRTY'}, journal recovery "
+        f"{'ok' if summary['journal_recovery_ok'] else 'FAILED'}"
+    )
+    return all_ok
+
+
+# ---------------------------------------------------------------------------
 # --kernels: the raw-speed replay tiers (scalar / packed / compiled)
 # ---------------------------------------------------------------------------
 
@@ -1998,6 +2503,18 @@ def main(argv: Optional[List[str]] = None) -> int:
              "leaked processes, and self-healing caches",
     )
     parser.add_argument(
+        "--serve-soak", action="store_true",
+        help="server soak mode: drive a live chaos-seeded repro-serve "
+             "through coalescing, flood, disconnect, deadline, SIGKILL and "
+             "journal-recovery scenarios; gates on every accept being "
+             "answered-or-cleanly-rejected with zero wrong verdicts, zero "
+             "leaked processes and clean traces",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="--serve-soak: chaos seed for the soaked server (default 0)",
+    )
+    parser.add_argument(
         "--seeds", type=int, default=3,
         help="--faults: number of seeded chaos sweeps (seeds 0..N-1)",
     )
@@ -2091,13 +2608,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     modes = (
         args.portfolio, args.certify, args.incremental, args.serve,
-        args.faults, args.kernels, args.obs,
+        args.faults, args.serve_soak, args.kernels, args.obs,
     )
     if sum(map(bool, modes)) > 1:
         parser.error(
             "--portfolio, --certify, --incremental, --serve, --faults, "
-            "--kernels and --obs are mutually exclusive"
+            "--serve-soak, --kernels and --obs are mutually exclusive"
         )
+
+    if args.serve_soak:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-soak-", dir="/tmp")
+        soak = run_serve_soak(args.seed, args.timeout, workdir)
+        out = args.out or "BENCH_server.json"
+        trace_out = args.trace_out or "BENCH_server_trace.jsonl"
+        return 0 if write_server_report(soak, out, args.timeout, trace_out) else 1
 
     if args.obs:
         bound = args.depth if args.depth is not None else 80

@@ -1,0 +1,182 @@
+"""The ``repro-serve`` command-line front end: run a verify server.
+
+Start a long-lived verification server on a unix socket (or TCP port) and
+keep warm state — frame-template blasts, learned priors, the certificate
+cache — alive across requests::
+
+    repro-serve --socket /tmp/repro.sock --cache-dir .repro-cache \\
+        --journal .repro-serve/journal.jsonl
+    repro-serve --tcp 127.0.0.1:7411 --workers 1:4 --target-latency 10
+
+Clients speak ``repro-serve-v1`` (:mod:`repro.serve.protocol`):
+``repro-verify daio --server /tmp/repro.sock`` for one-shot queries, or
+:class:`repro.serve.client.ServeClient` programmatically.  The server runs
+until SIGTERM/SIGINT or a client ``drain`` request, then drains gracefully:
+admissions close (``rejected: draining``), every accepted request is
+answered, the journal is compacted and the telemetry trace (``--trace``)
+is written.
+
+``--chaos SEED`` installs a seeded fault plan (see :mod:`repro.faults`) in
+the server process — soak-harness only; the rates come from
+``--chaos-rates kind=rate,...`` and cover both the classic execution faults
+(worker kills, hangs, cache tampering) and the server-site kinds
+(``journal-torn``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro.obs import log as _log
+from repro.obs import telemetry as _telemetry
+from repro.serve.server import ServerConfig, VerifyServer
+
+
+def _parse_workers(spec: str) -> tuple:
+    """``"4"`` → (1, 4); ``"2:8"`` → (2, 8)."""
+    if ":" in spec:
+        low, high = spec.split(":", 1)
+        return int(low), int(high)
+    return 1, int(spec)
+
+
+def _parse_rates(spec: Optional[str]) -> dict:
+    rates = {}
+    if spec:
+        for item in spec.split(","):
+            kind, _, rate = item.partition("=")
+            rates[kind.strip()] = float(rate)
+    return rates
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="run a long-lived verification server (repro-serve-v1)",
+    )
+    where = parser.add_mutually_exclusive_group(required=True)
+    where.add_argument(
+        "--socket", metavar="PATH", help="listen on a unix socket at PATH"
+    )
+    where.add_argument(
+        "--tcp", metavar="HOST:PORT", help="listen on a TCP host:port"
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="certificate-keyed result cache root (hits are re-validated, "
+             "definitive verdicts are stored)",
+    )
+    parser.add_argument(
+        "--journal", metavar="FILE", default=None,
+        help="write-ahead request journal; on restart, accepted-but-"
+             "unanswered requests are recovered per --recover",
+    )
+    parser.add_argument(
+        "--recover", choices=("nack", "requeue"), default="nack",
+        help="journal recovery policy: close open requests as nacked "
+             "(default) or recompute them into the cache",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="admission-queue capacity; beyond it requests are rejected "
+             "with reason 'overloaded' (default 16)",
+    )
+    parser.add_argument(
+        "--workers", default="2", metavar="[MIN:]MAX",
+        help="concurrency range for the adaptive throttle (default 1:2)",
+    )
+    parser.add_argument(
+        "--target-latency", type=float, default=10.0, metavar="S",
+        help="throttle target: shrink concurrency while observed latency "
+             "EWMA exceeds this, grow while well below (default 10)",
+    )
+    parser.add_argument(
+        "--default-deadline", type=float, default=120.0, metavar="S",
+        help="deadline for requests that set none (default 120); the "
+             "deadline propagates into engine and solver budgets",
+    )
+    parser.add_argument(
+        "--attempt-timeout", type=float, default=None, metavar="S",
+        help="per-attempt cap inside a request's budget (enables "
+             "supervised retry of a wedged attempt)",
+    )
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="accept only attempt verdicts whose certificate passes "
+             "independent validation inside the worker ladder",
+    )
+    parser.add_argument(
+        "--fsync-journal", action="store_true",
+        help="fsync every journal append (power-loss durability; process-"
+             "crash durability needs no fsync)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a repro-trace-v1 JSONL of the server's whole life on "
+             "drain; lint it with repro-trace lint --expect-clean",
+    )
+    parser.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="install a seeded fault plan in the server process "
+             "(soak/test harness only)",
+    )
+    parser.add_argument(
+        "--chaos-rates", default=None, metavar="KIND=RATE,...",
+        help="per-kind fault rates for --chaos, e.g. "
+             "'worker-kill=0.2,journal-torn=0.1'",
+    )
+    _log.add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    _log.configure_from_args(args)
+
+    host, port = None, 0
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            parser.error(f"bad --tcp spec {args.tcp!r} (want HOST:PORT)")
+    min_workers, max_workers = _parse_workers(args.workers)
+
+    config = ServerConfig(
+        socket_path=args.socket,
+        host=host or None,
+        port=port,
+        cache_dir=args.cache_dir,
+        journal_path=args.journal,
+        max_queue=args.max_queue,
+        min_workers=min_workers,
+        max_workers=max_workers,
+        target_latency_s=args.target_latency,
+        default_deadline_s=args.default_deadline,
+        attempt_timeout_s=args.attempt_timeout,
+        certify=args.certify,
+        recover=args.recover,
+        trace_path=args.trace,
+        fsync_journal=args.fsync_journal,
+    )
+
+    if args.chaos is not None:
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+
+        injection.install(
+            FaultPlan(seed=args.chaos, rates=_parse_rates(args.chaos_rates))
+        )
+        _log.info(f"chaos plan installed (seed {args.chaos})")
+
+    if args.trace:
+        _telemetry.enable()
+    server = VerifyServer(config)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

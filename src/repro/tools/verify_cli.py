@@ -36,15 +36,22 @@ stimulus next to it).
 
 Exit codes (CI-gateable): 0 for a (validated, under ``--certify``) definitive
 answer consistent with the known ground truth, 2 for a WRONG result, 3 for
-ERROR/UNKNOWN/TIMEOUT, 1 for usage or configuration errors.
+ERROR/UNKNOWN/TIMEOUT, 1 for usage or configuration errors.  ``--batch``
+applies the same contract per item: any WRONG — and, with ``--cache-dir``,
+any definitive item whose certificate was not independently validated —
+exits 2, any inconclusive item exits 3.
+
+``--server`` turns the CLI into a thin client of a running ``repro-serve``
+instance (same exit codes; admission rejections exit 1).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.benchmarks import BENCHMARKS, get_benchmark
 from repro.certs import Witness, dumps as certificate_dumps, validate_result
@@ -330,6 +337,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the certificate JSON to PATH (witnesses also "
                              "get an AIGER .cex stimulus next to it)")
     parser.add_argument(
+        "--server", metavar="SOCK|HOST:PORT", default=None,
+        help="client mode: send the query to a running repro-serve server "
+             "(unix socket path, or host:port) instead of verifying locally; "
+             "multiple targets are pipelined over one connection",
+    )
+    parser.add_argument(
+        "--priority", choices=["interactive", "batch", "bulk"], default=None,
+        help="server-mode admission priority (default: the server's)",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="record structured telemetry (spans + counters) for the whole "
              "run and write a repro-trace-v1 JSONL file; inspect it with "
@@ -380,6 +397,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--certify/--save-certificate are per-query; --batch validates "
             "through the result cache (--cache-dir) instead"
         )
+    if args.server and (modes or args.certify or args.save_certificate):
+        parser.error(
+            "--server is a thin client: the server picks the driver and "
+            "handles certificates (run it with --cache-dir/--certify)"
+        )
 
     if args.trace:
         from repro.obs.export import write_trace
@@ -398,6 +420,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(parser: argparse.ArgumentParser, args, modes: List[str]) -> int:
     """Run the selected driver; factored out so --trace can wrap it."""
+    if args.server:
+        if not args.target:
+            parser.error("--server needs at least one target design")
+        return _run_server_client(args)
+
     cache = None
     if args.cache_dir:
         from repro.cache import ResultCache
@@ -597,6 +624,87 @@ def _store_in_cache(cache, task, result, representation: str) -> None:
         print(f"not cached: {outcome.reason}")
 
 
+def _run_server_client(args) -> int:
+    """The ``--server`` driver: pipeline queries over one repro-serve conn.
+
+    All targets are submitted before any result is read, so the server's
+    queue (and its coalescing) sees the whole set at once.  Exit codes
+    mirror the local drivers: 2 for any WRONG (definitive verdict against
+    known ground truth), 3 for any inconclusive item, 1 for rejections.
+    """
+    from repro.serve.client import ServeClient, ServeError
+
+    def request_for(target: str) -> Dict[str, object]:
+        task = _resolve_task(target)
+        request: Dict[str, object] = {"deadline_s": args.timeout}
+        if task.kind == "benchmark":
+            request["design"] = task.spec
+        elif task.kind == "verilog":
+            path, top = task.spec
+            request["verilog"] = path
+            if top:
+                request["top"] = top
+        else:
+            request["aiger"] = task.spec
+        if args.property_name:
+            request["property"] = args.property_name
+        if args.representation:
+            request["representation"] = args.representation
+        if args.bound is not None:
+            request["bound"] = args.bound
+        if args.priority:
+            request["priority"] = args.priority
+        return request
+
+    if ":" in args.server and not os.path.exists(args.server):
+        host, _, port = args.server.rpartition(":")
+        client = ServeClient(host=host, port=int(port))
+    else:
+        client = ServeClient(socket_path=args.server)
+    _log.info(
+        f"connected to {args.server} ({client.hello.get('protocol')}, "
+        f"server pid {client.hello.get('pid')})"
+    )
+    wrong = False
+    inconclusive = False
+    rejected = False
+    with client:
+        pending: List[Tuple[str, Optional[str]]] = []
+        for target in args.target:
+            try:
+                accepted = client.submit(request_for(target))
+            except ServeError as error:
+                print(f"{target}: rejected ({error})")
+                rejected = True
+                continue
+            pending.append((target, accepted["id"]))
+        _print_header("design")
+        for target, request_id in pending:
+            reply = client.result(request_id)
+            status = reply.get("status", Status.ERROR)
+            expected = args.expected
+            if expected is None and target in BENCHMARKS:
+                expected = get_benchmark(target).expected
+            status = _classify(status, expected)
+            if status == Status.WRONG:
+                wrong = True
+            elif status not in Status.DEFINITIVE:
+                inconclusive = True
+            note = str(reply.get("source", ""))
+            if reply.get("coalesced_with", 0) > 1:
+                note += f" x{reply['coalesced_with']}"
+            if reply.get("validated"):
+                note += " validated"
+            print(
+                _row(target, status, float(reply.get("runtime_s", 0.0)), note)
+            )
+    if wrong:
+        return 2
+    if rejected:
+        return 1
+    return 3 if inconclusive else 0
+
+
 def _run_batch(args, cache) -> int:
     """The ``--batch`` driver: a warm-pool sweep over many designs."""
     from repro.engines import BatchItem, BatchRunner
@@ -641,6 +749,7 @@ def _run_batch(args, cache) -> int:
     _print_header("design:property")
     wrong = False
     inconclusive = False
+    unvalidated = False
     for item in report.items:
         status = item.status
         if item.correct is False:
@@ -649,6 +758,16 @@ def _run_batch(args, cache) -> int:
         if status not in Status.DEFINITIVE and status != Status.WRONG:
             inconclusive = True
         note = item.source
+        if (
+            cache is not None
+            and status in Status.DEFINITIVE
+            and not item.validated
+        ):
+            # with a cache attached every definitive verdict must be backed
+            # by an independently validated certificate; one that is not is
+            # indistinguishable from a lying engine and must gate CI
+            unvalidated = True
+            note += " NOT VALIDATED"
         if item.rung is not None:
             note += f" rung {item.rung}"
         if item.minimization and item.minimization.get("minimized"):
@@ -663,7 +782,7 @@ def _run_batch(args, cache) -> int:
         f"{report.cache_hits} cache hit(s), {report.cache_misses} miss(es), "
         f"{report.demotions} demotion(s), {report.workers} worker(s)"
     )
-    if wrong:
+    if wrong or unvalidated:
         return 2
     return 0 if not inconclusive else 3
 
