@@ -17,6 +17,7 @@ setup(
             "repro-bench = repro.tools.bench:main",
             "repro-cache = repro.tools.cache_cli:main",
             "repro-serve = repro.tools.serve_cli:main",
+            "repro-serve-router = repro.tools.router_cli:main",
             "repro-trace = repro.tools.trace_cli:main",
             "repro-verify = repro.tools.verify_cli:main",
         ]

@@ -49,6 +49,7 @@ from repro.engines.supervision import (
     RetryPolicy,
     SupervisedOutcome,
     WorkerSupervisor,
+    report_progress,
 )
 from repro.obs import telemetry as _telemetry
 
@@ -96,6 +97,11 @@ def run_sequential_ladder(
                     rung_left if allowance is None else min(allowance, rung_left)
                 )
             t0 = time.monotonic()
+            # a rung landing is a liveness milestone: under supervision it
+            # streams to the waiting client as a progress frame
+            report_progress(
+                milestone=True, phase="rung", rung=rung_index, config=config.label
+            )
             try:
                 with _telemetry.span(
                     "ladder.attempt", config=config.label, rung=rung_index
@@ -363,6 +369,7 @@ def run_supervised_unit(
     context=None,
     retry: Optional[RetryPolicy] = None,
     abort=None,
+    stall=None,
     on_event=None,
 ) -> Tuple[VerificationResult, SupervisedOutcome]:
     """Run one ``(task, property)`` unit in a supervised worker process.
@@ -374,7 +381,9 @@ def run_supervised_unit(
     that returned no definitive verdict is retried under the remaining
     budget).  The serve layer runs every admitted request through here, so
     a server request gets exactly the deadline/kill/retry hygiene of a
-    batch unit — plus ``abort`` for client-disconnect cancellation.
+    batch unit — plus ``abort`` for client-disconnect cancellation and
+    ``stall`` for the wedged-request liveness kill (both settable events,
+    see :meth:`WorkerSupervisor.run_map`).
     """
     if supervisor is None:
         if context is None:
@@ -393,6 +402,7 @@ def run_supervised_unit(
         rebudget=lambda p, allowance: p[:4] + (allowance,) + p[5:],
         accept=_accept_definitive,
         abort=abort,
+        stall=stall,
         on_event=on_event,
     )
     outcome = outcomes[0]

@@ -41,6 +41,51 @@ DEGRADED = "degraded"
 CANCELLED = "cancelled"
 
 
+# ---------------------------------------------------------------------------
+# progress reporting — the worker-side half of streamed liveness
+# ---------------------------------------------------------------------------
+
+#: thread-local progress sink: inside a worker process it forwards over the
+#: attempt's result pipe; in degraded in-process execution it forwards to the
+#: supervisor's event callback directly.  Thread-local because the serve
+#: layer runs several degraded units on different threads of one process.
+_PROGRESS = threading.local()
+
+#: floor between forwarded progress reports, so a tight bound loop cannot
+#: flood the result pipe
+PROGRESS_MIN_INTERVAL_S = 0.05
+
+
+def set_progress_sink(sink: Optional[Callable[[dict], None]]) -> None:
+    """Install (or clear) this thread's progress sink."""
+    _PROGRESS.sink = sink
+    _PROGRESS.last = 0.0
+
+
+def report_progress(**fields) -> None:
+    """Report one unit of forward progress (ladder rung, bound reached).
+
+    Called from engine/ladder code running under supervision.  A no-op
+    without a sink (one thread-local read), so unsupervised execution pays
+    nothing.  Reports are rate-limited to one per
+    :data:`PROGRESS_MIN_INTERVAL_S` unless marked ``milestone=True`` —
+    rung landings are milestones, per-bound ticks are not.
+    """
+    sink = getattr(_PROGRESS, "sink", None)
+    if sink is None:
+        return
+    now = time.monotonic()
+    if not fields.pop("milestone", False):
+        if now - getattr(_PROGRESS, "last", 0.0) < PROGRESS_MIN_INTERVAL_S:
+            return
+    _PROGRESS.last = now
+    try:
+        sink(dict(fields))
+    except Exception:
+        # a dead pipe must never crash the computation it reports on
+        set_progress_sink(None)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How supervised attempts are retried.
@@ -97,6 +142,27 @@ class SupervisedOutcome:
         }
 
 
+def _span_progress_hook(name: str, attrs: dict) -> None:
+    """Telemetry span hook: engine bound-loop spans double as progress.
+
+    The PR-8 span stream already marks every unit of search progress
+    (``engine.bmc.bound``, ``engine.kinduction.k``, …); forwarding those
+    span starts through :func:`report_progress` gives liveness for free
+    wherever tracing is on, with no per-engine plumbing.
+    """
+    if not name.startswith("engine."):
+        return
+    report_progress(
+        phase="bound",
+        span=name,
+        **{
+            key: value
+            for key, value in attrs.items()
+            if isinstance(value, (int, float, str)) and key != "span"
+        },
+    )
+
+
 def _run_attempt(worker, payload, attempt, conn) -> None:
     """Child-process entry: run one attempt, send the outcome back.
 
@@ -122,6 +188,15 @@ def _run_attempt(worker, payload, attempt, conn) -> None:
         signal.signal(signum, signal.SIG_DFL)
     _fault_injection.set_attempt(attempt)
     _telemetry.child_begin()
+
+    # stream liveness: explicit report_progress() calls plus every engine
+    # bound-loop span start are forwarded over the result pipe as
+    # ("progress", doc) messages interleaved before the final triple
+    def _pipe_progress(doc: dict) -> None:
+        conn.send(("progress", doc))
+
+    set_progress_sink(_pipe_progress)
+    _telemetry.set_span_hook(_span_progress_hook)
     try:
         with _telemetry.span("worker.attempt", attempt=attempt):
             value = worker(payload)
@@ -129,6 +204,9 @@ def _run_attempt(worker, payload, attempt, conn) -> None:
     except BaseException as error:  # noqa: BLE001 - reported, never silent
         value = f"{type(error).__name__}: {error}"
         status = "error"
+    finally:
+        _telemetry.set_span_hook(None)
+        set_progress_sink(None)
     trace = _telemetry.child_export()
     try:
         conn.send((status, value, trace))
@@ -254,6 +332,7 @@ class WorkerSupervisor:
         poll_interval: float = 0.05,
         kill_grace: float = 2.0,
         abort: Optional[threading.Event] = None,
+        stall: Optional[threading.Event] = None,
     ) -> List[SupervisedOutcome]:
         """Run every payload through ``worker`` under supervision.
 
@@ -276,6 +355,18 @@ class WorkerSupervisor:
         finalized in the ``cancelled`` state.  This is how the serve layer
         tears a computation down when its last waiting client disconnects —
         the cancellation is an explicit outcome, never a leaked process.
+
+        ``stall`` (another settable event) declares the *current attempts*
+        wedged without cancelling the map: every active worker is
+        kill-escalated and its attempt retired as ``timed-out`` (so the
+        normal retry budget applies), then the event is cleared.  The serve
+        layer sets it when a request's streamed progress goes silent past
+        its liveness window.
+
+        Workers stream ``("progress", doc)`` messages over their result
+        pipes (see :func:`report_progress`); each is surfaced as a
+        ``progress`` event through ``on_event`` with the unit and attempt
+        attached.
         """
 
         def emit(event: str, **fields) -> None:
@@ -390,6 +481,11 @@ class WorkerSupervisor:
             _fault_injection.set_attempt(slot.attempt)
             begin_attempt_span(index, slot.attempt)
             degraded_span = attempt_spans.get(index)
+            set_progress_sink(
+                lambda doc: emit(
+                    "progress", unit=index, attempt=slot.attempt, **doc
+                )
+            )
             try:
                 if recorder is not None and degraded_span is not None:
                     with recorder.under(degraded_span):
@@ -407,6 +503,7 @@ class WorkerSupervisor:
                 finalize(index, CRASHED, reason=reason)
                 outcomes[index].degraded = True
             finally:
+                set_progress_sink(None)
                 _fault_injection.set_attempt(0)
             emit("degraded", unit=index, state=outcomes[index].state)
 
@@ -431,6 +528,23 @@ class WorkerSupervisor:
                 pending.clear()
                 emit("aborted", units=len(slots))
                 break
+            if stall is not None and stall.is_set():
+                # liveness window expired: the active attempts are wedged.
+                # Kill them and retire as timed-out — retries (possibly on
+                # another member, via the serve layer) stay available.
+                stall.clear()
+                stalled = list(active.items())
+                for index, process in stalled:
+                    active.pop(index)
+                    slots[index].close_conn()
+                    self.stop(process)
+                    end_attempt_span(index, TIMED_OUT)
+                    retire_or_retry(
+                        index, TIMED_OUT, reason="liveness window expired without progress"
+                    )
+                if stalled:
+                    _telemetry.counter("supervisor.stall_kills", len(stalled))
+                    emit("stall-killed", units=[index for index, _ in stalled])
             now = time.monotonic()
 
             # launch what fits; degrade when the pool is unhealthy
@@ -528,6 +642,12 @@ class WorkerSupervisor:
                 except (EOFError, OSError):
                     # the worker died mid-send; the reaper below classifies it
                     slot.close_conn()
+                    continue
+                if message and message[0] == "progress":
+                    # liveness tick: surface it and keep the pipe open — the
+                    # worker is still running toward its final report
+                    doc = message[1] if isinstance(message[1], dict) else {}
+                    emit("progress", unit=index, attempt=slot.attempt, **doc)
                     continue
                 slot.close_conn()
                 # (status, value) pre-telemetry, (status, value, trace) now

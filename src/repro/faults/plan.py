@@ -42,6 +42,19 @@ QUEUE_FLOOD = "queue-flood"
 #: serve: tear the tail off a just-appended journal record (simulates a
 #: crash mid-append; recovery must skip the torn line, never refuse to start)
 JOURNAL_TORN = "journal-torn"
+#: fleet: sever a primary->standby replication stream mid-flight (the
+#: standby must resubscribe and resync from a fresh snapshot, never wedge)
+REPL_LINK_DROP = "repl-link-drop"
+#: fleet: a standby acks a replicated record without persisting it, then
+#: takes over with a stale journal tail (the router's resubmit path must
+#: still get every client answered)
+STALE_STANDBY = "stale-standby"
+#: fleet: the router loses a member's connection and cannot reconnect for a
+#: window (a network partition; routing must fail over and then heal)
+ROUTER_PARTITION = "router-partition"
+#: fleet: a member silently drops heartbeat requests (the router must mark
+#: it down on misses and recover it when heartbeats resume)
+HEARTBEAT_BLACKOUT = "heartbeat-blackout"
 
 FAULT_KINDS = (
     CRASH,
@@ -57,6 +70,10 @@ FAULT_KINDS = (
     CLIENT_DISCONNECT,
     QUEUE_FLOOD,
     JOURNAL_TORN,
+    REPL_LINK_DROP,
+    STALE_STANDBY,
+    ROUTER_PARTITION,
+    HEARTBEAT_BLACKOUT,
 )
 
 

@@ -376,6 +376,19 @@ class Recorder:
 
 _RECORDER: Optional[Recorder] = None
 
+#: optional observer of span *starts* — ``hook(name, attrs)`` — used by the
+#: supervision layer to turn the span stream into streamed progress without
+#: per-engine plumbing.  Fires whether or not a recorder is installed (the
+#: span stream marks forward progress even when nobody keeps the spans), and
+#: must never raise into the instrumented code.
+_SPAN_HOOK = None
+
+
+def set_span_hook(hook) -> None:
+    """Install (or clear, with ``None``) the process-wide span-start hook."""
+    global _SPAN_HOOK
+    _SPAN_HOOK = hook
+
 
 def enabled() -> bool:
     """Whether telemetry is currently recording in this process."""
@@ -419,6 +432,12 @@ def span(name: str, **attrs):
     disabled — safe in warm loops.  The span joins the current thread's
     stack, so nested ``span()`` calls build the tree automatically.
     """
+    hook = _SPAN_HOOK
+    if hook is not None:
+        try:
+            hook(name, attrs)
+        except Exception:  # pragma: no cover - observer bug, not ours
+            pass
     recorder = _RECORDER
     if recorder is None:
         return NOOP_SPAN

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.faults import injection as _fault_injection
 from repro.jsonio import write_text_atomic
@@ -72,6 +73,13 @@ class RequestJournal:
         self._handle = None
         self.appends = 0
         self.torn_injected = 0
+        #: appends and compaction rewrite the same file; the lock makes an
+        #: in-flight append atomic with respect to the replay-then-rename,
+        #: so compaction can never drop a record landing concurrently
+        self._lock = threading.RLock()
+        #: replication hook: called with each serialized record line after
+        #: it is durably appended (the primary streams these to standbys)
+        self.on_record: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     def _open(self):
@@ -83,23 +91,55 @@ class RequestJournal:
         return self._handle
 
     def close(self) -> None:
-        if self._handle is not None and not self._handle.closed:
-            self._handle.close()
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
 
     def _append(self, record: dict, key: str) -> None:
         record["format"] = JOURNAL_FORMAT
         record["t"] = time.time()
-        handle = self._open()
-        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-        handle.flush()
-        if self.fsync:
-            os.fsync(handle.fileno())
-        self.appends += 1
-        if _fault_injection.torn_journal_append(self.path, key):
-            self.torn_injected += 1
-            # the tear truncated the file under our append handle; reopen so
-            # the next append lands at the (new) end instead of leaving a hole
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            handle = self._open()
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self.appends += 1
+            if _fault_injection.torn_journal_append(self.path, key):
+                self.torn_injected += 1
+                # the tear truncated the file under our append handle; reopen
+                # so the next append lands at the (new) end, not in a hole
+                self.close()
+        if self.on_record is not None:
+            self.on_record(line)
+
+    def append_raw(self, line: str) -> None:
+        """Append one already-serialized record (standby replication apply)."""
+        with self._lock:
+            handle = self._open()
+            handle.write(line.rstrip("\n") + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self.appends += 1
+
+    def read_text(self) -> str:
+        """The journal's current bytes (a replication snapshot)."""
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.flush()
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    return handle.read()
+            except OSError:
+                return ""
+
+    def reset(self, text: str) -> None:
+        """Atomically replace the journal (installing a replication snapshot)."""
+        with self._lock:
             self.close()
+            write_text_atomic(self.path, text)
 
     def accept(self, request_id: str, request: dict) -> None:
         """Journal one admitted request *before* the accept reply is sent."""
@@ -121,8 +161,9 @@ class RequestJournal:
         """Parse the journal, tolerant of a torn tail and embedded garbage."""
         report = RecoveryReport()
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
+            with self._lock:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    lines = handle.readlines()
         except OSError:
             return report
         for line in lines:
@@ -155,22 +196,23 @@ class RequestJournal:
         Closed accept/close pairs are history — dropping them bounds the
         file and the next replay.  Returns the pre-compaction report.
         """
-        report = self.replay()
-        self.close()
-        lines: List[str] = []
-        if keep_open:
-            for request_id, request in report.open_requests.items():
-                lines.append(
-                    json.dumps(
-                        {
-                            "format": JOURNAL_FORMAT,
-                            "op": "accept",
-                            "id": request_id,
-                            "t": time.time(),
-                            "request": request,
-                        },
-                        separators=(",", ":"),
+        with self._lock:
+            report = self.replay()
+            self.close()
+            lines: List[str] = []
+            if keep_open:
+                for request_id, request in report.open_requests.items():
+                    lines.append(
+                        json.dumps(
+                            {
+                                "format": JOURNAL_FORMAT,
+                                "op": "accept",
+                                "id": request_id,
+                                "t": time.time(),
+                                "request": request,
+                            },
+                            separators=(",", ":"),
+                        )
                     )
-                )
-        write_text_atomic(self.path, "".join(line + "\n" for line in lines))
+            write_text_atomic(self.path, "".join(line + "\n" for line in lines))
         return report

@@ -38,6 +38,18 @@ OP_VERIFY = "verify"
 OP_PING = "ping"
 OP_STATS = "stats"
 OP_DRAIN = "drain"
+OP_STATUS = "status"
+OP_HEARTBEAT = "heartbeat"
+
+#: replication operations (standby <-> primary, over the same framing)
+OP_REPL_SUBSCRIBE = "repl-subscribe"
+OP_REPL_SNAPSHOT = "repl-snapshot"
+OP_REPL_APPEND = "repl-append"
+OP_REPL_ACK = "repl-ack"
+OP_REPL_HEARTBEAT = "repl-heartbeat"
+
+#: server -> client liveness frames for a long-running request
+OP_PROGRESS = "progress"
 
 
 class ProtocolError(ValueError):
@@ -112,3 +124,42 @@ def read_frame_blocking(stream) -> Optional[object]:
 def write_frame_blocking(stream, document: object) -> None:
     stream.write(encode_frame(document))
     stream.flush()
+
+
+# ---------------------------------------------------------------------------
+# address specs — one textual form shared by the router, the standby
+# replica, and the CLIs: ``unix:/path``, a bare path, or ``host:port``
+# ---------------------------------------------------------------------------
+
+
+def parse_addr(spec: str) -> tuple:
+    """Parse an address spec into ``(socket_path, host, port)``.
+
+    ``unix:`` prefixes force a unix socket; otherwise a single trailing
+    ``:<digits>`` means TCP and anything else is a unix socket path.
+    """
+    spec = spec.strip()
+    if spec.startswith("unix:"):
+        return spec[len("unix:"):], None, 0
+    if spec.startswith("tcp:"):
+        spec = spec[len("tcp:"):]
+        host, _, port = spec.rpartition(":")
+        return None, host or "127.0.0.1", int(port)
+    host, sep, port = spec.rpartition(":")
+    if sep and port.isdigit() and "/" not in port:
+        return None, host or "127.0.0.1", int(port)
+    return spec, None, 0
+
+
+def format_addr(socket_path=None, host=None, port=0) -> str:
+    if socket_path:
+        return f"unix:{socket_path}"
+    return f"{host}:{port}"
+
+
+async def open_addr(spec: str):
+    """Open an asyncio connection to an address spec; ``(reader, writer)``."""
+    socket_path, host, port = parse_addr(spec)
+    if socket_path:
+        return await asyncio.open_unix_connection(socket_path)
+    return await asyncio.open_connection(host, port)

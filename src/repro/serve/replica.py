@@ -1,0 +1,371 @@
+"""Journal replication: hot standbys that turn a primary crash into takeover.
+
+The crash-safety story of one box is the write-ahead journal; the fleet
+story is the same journal *streamed*.  A primary's
+:class:`ReplicationManager` hooks :attr:`RequestJournal.on_record` and
+pushes every appended record to each subscribed standby as a sequenced
+``repl-append`` frame over the ordinary ``repro-serve-v1`` connection; the
+standby's :class:`StandbyReplica` applies each record to its own journal
+file and answers with ``repl-ack``.  A new subscriber first receives the
+journal's current bytes in one ``repl-snapshot`` frame, so resubscribing
+after a dropped link is always a full resync — there is no partial-state
+protocol to get wrong.
+
+Sync levels trade accept latency for takeover fidelity:
+
+* ``async`` (default) — the accept reply does not wait for standbys; a
+  primary SIGKILL may lose the journal tail that was still in flight, and
+  those clients see their resubmission (not their original accept) honored.
+* ``sync`` — the accept reply is sent only after at least one standby has
+  acked the accept record (bounded by ``sync_timeout_s``, after which the
+  server degrades to async rather than wedging admissions on a dead link).
+
+Takeover: the standby runs a normal :class:`VerifyServer` in ``standby``
+role (it listens, answers pings/heartbeats/status, rejects ``verify`` with
+``reason: standby``).  When its subscription dies and cannot be re-
+established within ``takeover_after_s``, it calls ``server.promote()``:
+replay the replicated journal, requeue every accepted-but-unanswered
+request as a waiterless recovery computation, and open admissions — a
+primary SIGKILL becomes a takeover-requeue instead of a restart-NACK.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional
+
+from repro.faults import injection as _fault_injection
+from repro.obs import log as _log
+from repro.obs import telemetry as _telemetry
+from repro.serve.protocol import (
+    OP_REPL_ACK,
+    OP_REPL_APPEND,
+    OP_REPL_HEARTBEAT,
+    OP_REPL_SNAPSHOT,
+    OP_REPL_SUBSCRIBE,
+    ProtocolError,
+    open_addr,
+    read_frame,
+    write_frame,
+)
+
+#: idle keepalive cadence on an established replication stream
+REPL_HEARTBEAT_S = 1.0
+#: a stream with no frame for this long is considered dead by the standby
+REPL_SILENCE_S = 3.5
+
+
+class _Subscriber:
+    """One standby's live subscription on the primary."""
+
+    __slots__ = ("conn", "name", "acked", "queue", "task", "alive", "since")
+
+    def __init__(self, conn, name: str) -> None:
+        self.conn = conn
+        self.name = name
+        self.acked = 0
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+        self.alive = True
+        self.since = time.monotonic()
+
+
+class ReplicationManager:
+    """Primary-side half: stream journal records, track standby acks."""
+
+    def __init__(
+        self,
+        server,
+        sync_level: str = "async",
+        sync_timeout_s: float = 2.0,
+    ) -> None:
+        if sync_level not in ("async", "sync"):
+            raise ValueError(f"unknown sync level {sync_level!r}")
+        self.server = server
+        self.sync_level = sync_level
+        self.sync_timeout_s = sync_timeout_s
+        #: records published since this process became (or started as) primary
+        self.seq = 0
+        self.subscribers: List[_Subscriber] = []
+        self.sync_timeouts = 0
+        self.link_drops = 0
+        self.subscriptions = 0
+        self._ack_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._ack_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def publish(self, line: str) -> None:
+        """Fan one just-appended journal record out to every subscriber.
+
+        Installed as the journal's ``on_record`` hook; appends happen on
+        the event-loop thread, so plain ``put_nowait`` is safe.
+        """
+        self.seq += 1
+        for subscriber in self.subscribers:
+            if subscriber.alive:
+                subscriber.queue.put_nowait((self.seq, line))
+
+    async def wait_synced(self) -> bool:
+        """Block (sync level only) until a standby acked the current seq."""
+        if self.sync_level != "sync":
+            return True
+        target = self.seq
+        deadline = time.monotonic() + self.sync_timeout_s
+        while True:
+            live = [s for s in self.subscribers if s.alive]
+            if not live:
+                # no standby attached: degrade to async rather than refuse
+                # every admission — the journal itself is still the backstop
+                return True
+            if any(s.acked >= target for s in live):
+                return True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.sync_timeouts += 1
+                _telemetry.counter("serve.repl.sync_timeouts")
+                return False
+            self._ack_event.clear()
+            try:
+                await asyncio.wait_for(self._ack_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                self.sync_timeouts += 1
+                _telemetry.counter("serve.repl.sync_timeouts")
+                return False
+
+    # ------------------------------------------------------------------
+    async def handle_subscribe(self, conn, request: dict) -> None:
+        """A standby subscribed on ``conn``: snapshot, then stream live."""
+        name = str(request.get("name") or f"standby-{len(self.subscribers)}")
+        subscriber = _Subscriber(conn, name)
+        journal = self.server.journal
+        snapshot = journal.read_text() if journal is not None else ""
+        ok = await conn.send(
+            {
+                "ok": True,
+                "op": OP_REPL_SNAPSHOT,
+                "seq": self.seq,
+                "journal": snapshot,
+                "sync_level": self.sync_level,
+            }
+        )
+        if not ok:
+            return
+        self.subscribers.append(subscriber)
+        self.subscriptions += 1
+        _telemetry.counter("serve.repl.subscriptions")
+        _log.info(f"replication: standby {name!r} subscribed at seq {self.seq}")
+        subscriber.task = asyncio.create_task(self._stream(subscriber))
+
+    def handle_ack(self, conn, request: dict) -> None:
+        for subscriber in self.subscribers:
+            if subscriber.conn is conn:
+                try:
+                    subscriber.acked = max(subscriber.acked, int(request.get("seq", 0)))
+                except (TypeError, ValueError):
+                    pass
+                if self._ack_event is not None:
+                    self._ack_event.set()
+                return
+
+    def drop_connection(self, conn) -> None:
+        """A connection died; retire any subscription riding on it."""
+        for subscriber in list(self.subscribers):
+            if subscriber.conn is conn:
+                subscriber.alive = False
+                if subscriber.task is not None:
+                    subscriber.task.cancel()
+                self.subscribers.remove(subscriber)
+
+    async def _stream(self, subscriber: _Subscriber) -> None:
+        """Pump one subscriber's queue onto its connection, with keepalives."""
+        try:
+            while subscriber.alive and subscriber.conn.alive:
+                try:
+                    seq, line = await asyncio.wait_for(
+                        subscriber.queue.get(), timeout=REPL_HEARTBEAT_S
+                    )
+                except asyncio.TimeoutError:
+                    if not await subscriber.conn.send(
+                        {"ok": True, "op": OP_REPL_HEARTBEAT, "seq": self.seq}
+                    ):
+                        break
+                    continue
+                if _fault_injection.drop_replication_link(
+                    f"{subscriber.name}:{seq}"
+                ):
+                    # chaos: sever the link mid-stream; the standby must
+                    # resubscribe and resync from a fresh snapshot
+                    self.link_drops += 1
+                    _telemetry.counter("serve.repl.link_drops")
+                    subscriber.conn.alive = False
+                    try:
+                        subscriber.conn.writer.close()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                if not await subscriber.conn.send(
+                    {"ok": True, "op": OP_REPL_APPEND, "seq": seq, "record": line}
+                ):
+                    break
+        except asyncio.CancelledError:  # pragma: no cover - drop_connection
+            pass
+        finally:
+            subscriber.alive = False
+            if subscriber in self.subscribers:
+                self.subscribers.remove(subscriber)
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        return {
+            "sync_level": self.sync_level,
+            "seq": self.seq,
+            "standbys": [
+                {
+                    "name": s.name,
+                    "acked": s.acked,
+                    "lag": max(0, self.seq - s.acked),
+                    "connected_s": round(time.monotonic() - s.since, 3),
+                }
+                for s in self.subscribers
+                if s.alive
+            ],
+            "subscriptions": self.subscriptions,
+            "sync_timeouts": self.sync_timeouts,
+            "link_drops": self.link_drops,
+        }
+
+    def lag(self) -> Optional[int]:
+        live = [s for s in self.subscribers if s.alive]
+        if not live:
+            return None
+        return max(0, self.seq - max(s.acked for s in live))
+
+
+class StandbyReplica:
+    """Standby-side half: subscribe, apply, ack — and take over when orphaned."""
+
+    def __init__(
+        self,
+        server,
+        primary_addr: str,
+        takeover_after_s: float = 3.0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.server = server
+        self.primary_addr = primary_addr
+        self.takeover_after_s = takeover_after_s
+        self.name = name or server.server_id
+        self.connected = False
+        self.applied = 0
+        self.records_applied = 0
+        self.reconnects = 0
+        self.stale_drops = 0
+        self.promoted = False
+
+    async def run(self) -> None:
+        """Follow the primary until shutdown — or until takeover is due."""
+        unreachable_since: Optional[float] = None
+        backoff = 0.05
+        while not self.server.draining and not self.promoted:
+            synced = False
+            try:
+                synced = await self._follow_once()
+            except (ConnectionError, OSError, ProtocolError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError):
+                pass
+            if self.server.draining or self.promoted:
+                break
+            self.connected = False
+            now = time.monotonic()
+            if synced:
+                # the primary *was* up this attempt: the takeover window
+                # (continuous unreachability) restarts from its death
+                unreachable_since = now
+                backoff = 0.05
+            elif unreachable_since is None:
+                unreachable_since = now
+            elif now - unreachable_since >= self.takeover_after_s:
+                self.promoted = True
+                _log.info(
+                    f"standby {self.name!r}: primary {self.primary_addr} "
+                    f"unreachable for {now - unreachable_since:.2f}s — taking over"
+                )
+                await self.server.promote(reason="primary unreachable")
+                return
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2.0, 0.5)
+
+    async def _follow_once(self) -> bool:
+        """One subscription: connect, resync from snapshot, apply until EOF.
+
+        Returns whether a snapshot was installed (the primary was truly up).
+        """
+        synced = False
+        reader, writer = await open_addr(self.primary_addr)
+        try:
+            hello = await asyncio.wait_for(read_frame(reader), REPL_SILENCE_S)
+            if not isinstance(hello, dict) or "protocol" not in hello:
+                raise ProtocolError(f"primary sent no hello: {hello!r}")
+            await write_frame(
+                writer, {"op": OP_REPL_SUBSCRIBE, "name": self.name}
+            )
+            self.reconnects += 1
+            while not self.server.draining:
+                frame = await asyncio.wait_for(read_frame(reader), REPL_SILENCE_S)
+                if frame is None:
+                    return synced  # primary closed the stream
+                if not isinstance(frame, dict):
+                    continue
+                op = frame.get("op")
+                if op == OP_REPL_SNAPSHOT:
+                    journal = self.server.journal
+                    if journal is not None:
+                        journal.reset(str(frame.get("journal", "")))
+                    self.applied = int(frame.get("seq", 0))
+                    self.connected = True
+                    synced = True
+                    _telemetry.counter("serve.repl.snapshots")
+                    await write_frame(
+                        writer, {"op": OP_REPL_ACK, "seq": self.applied}
+                    )
+                elif op == OP_REPL_APPEND:
+                    seq = int(frame.get("seq", self.applied + 1))
+                    record = str(frame.get("record", ""))
+                    if _fault_injection.stale_standby(f"{self.name}:{seq}"):
+                        # chaos: ack without persisting — a takeover from
+                        # here runs with a stale journal tail
+                        self.stale_drops += 1
+                        _telemetry.counter("serve.repl.stale_drops")
+                    elif record and self.server.journal is not None:
+                        self.server.journal.append_raw(record)
+                        self.records_applied += 1
+                    self.applied = seq
+                    await write_frame(writer, {"op": OP_REPL_ACK, "seq": seq})
+                elif op == OP_REPL_HEARTBEAT:
+                    await write_frame(
+                        writer, {"op": OP_REPL_ACK, "seq": self.applied}
+                    )
+            return synced
+        finally:
+            self.connected = False
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def status(self) -> dict:
+        return {
+            "primary": self.primary_addr,
+            "connected": self.connected,
+            "applied_seq": self.applied,
+            "records_applied": self.records_applied,
+            "reconnects": self.reconnects,
+            "stale_drops": self.stale_drops,
+            "promoted": self.promoted,
+            "takeover_after_s": self.takeover_after_s,
+        }

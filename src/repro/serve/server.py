@@ -58,18 +58,25 @@ from repro.engines.portfolio import (
 from repro.engines.result import Status, VerificationResult
 from repro.obs import log as _log
 from repro.obs import telemetry as _telemetry
+from repro.faults import injection as _fault_injection
 from repro.serve import journal as journal_mod
 from repro.serve.journal import RequestJournal
 from repro.serve.protocol import (
     OP_DRAIN,
+    OP_HEARTBEAT,
     OP_PING,
+    OP_PROGRESS,
+    OP_REPL_ACK,
+    OP_REPL_SUBSCRIBE,
     OP_STATS,
+    OP_STATUS,
     OP_VERIFY,
     PROTOCOL,
     ProtocolError,
     read_frame,
     write_frame,
 )
+from repro.serve.replica import ReplicationManager, StandbyReplica
 from repro.serve.queues import BoundedPriorityQueue, QueueClosed, priority_value
 from repro.serve.throttle import AdaptiveThrottle
 
@@ -97,6 +104,24 @@ class ServerConfig:
     recover: str = "nack"
     trace_path: Optional[str] = None
     fsync_journal: bool = False
+    #: fleet role: a ``primary`` serves; a ``standby`` follows ``primary_addr``
+    #: via journal replication and serves only after takeover
+    role: str = "primary"
+    #: stable member name for status/heartbeat/trace stitching
+    server_id: Optional[str] = None
+    #: address spec of the primary this standby follows (``unix:...``/host:port)
+    primary_addr: Optional[str] = None
+    #: continuous primary unreachability after which the standby promotes
+    takeover_after_s: float = 3.0
+    #: replication sync level: ``async`` or ``sync`` (ack-before-accept)
+    sync_level: str = "async"
+    #: sync level's bounded wait before degrading to async for one accept
+    sync_timeout_s: float = 2.0
+    #: cadence of ``progress`` liveness frames to waiting clients (0 = off)
+    progress_interval_s: float = 2.0
+    #: a running request with no computation progress for this long is
+    #: declared wedged: its workers are killed and retried (None = off)
+    progress_timeout_s: Optional[float] = None
 
 
 class _Waiter:
@@ -133,12 +158,22 @@ class _Work:
         self.priority = priority
         self.waiters: List[_Waiter] = []
         self.abort = threading.Event()
+        #: liveness kill switch: set by the monitor when streamed progress
+        #: goes silent past the window; the supervisor kills and retries
+        self.stall = threading.Event()
         self.running = False
         self.cancelled = False
         self.done = False
         self.recovered = False
         self.span = None
         self.admitted_t = time.monotonic()
+        self.started_t: Optional[float] = None
+        #: last *computation* progress (rung/bound), monotonic
+        self.last_progress = time.monotonic()
+        #: last progress frame of any kind sent to waiters, monotonic
+        self.last_progress_sent = 0.0
+        self.progress_events = 0
+        self.stall_kills = 0
 
 
 class _Connection:
@@ -169,13 +204,39 @@ class VerifyServer:
     def __init__(self, config: ServerConfig) -> None:
         if not config.socket_path and not config.host:
             raise ValueError("server needs a unix socket path or a TCP host")
+        if config.role not in ("primary", "standby"):
+            raise ValueError(f"unknown role {config.role!r}")
+        if config.role == "standby" and not config.primary_addr:
+            raise ValueError("a standby needs primary_addr to follow")
         self.config = config
+        self.role = config.role
+        self.server_id = config.server_id or (
+            config.socket_path or f"{config.host}:{config.port}"
+        )
         self.cache = (
             ResultCache(config.cache_dir) if config.cache_dir else None
         )
         self.journal = (
             RequestJournal(config.journal_path, fsync=config.fsync_journal)
             if config.journal_path
+            else None
+        )
+        #: every server can feed standbys; the journal hook streams records
+        self.replication = ReplicationManager(
+            self,
+            sync_level=config.sync_level,
+            sync_timeout_s=config.sync_timeout_s,
+        )
+        if self.journal is not None:
+            self.journal.on_record = self.replication.publish
+        self.replica = (
+            StandbyReplica(
+                self,
+                config.primary_addr,
+                takeover_after_s=config.takeover_after_s,
+                name=self.server_id,
+            )
+            if self.role == "standby"
             else None
         )
         self.queue = BoundedPriorityQueue(config.max_queue)
@@ -200,6 +261,13 @@ class VerifyServer:
             "recovered_nacked": 0,
             "recovered_requeued": 0,
             "bad_requests": 0,
+            "rejected_standby": 0,
+            "takeovers": 0,
+            "takeover_requeued": 0,
+            "progress_frames": 0,
+            "wedged_kills": 0,
+            "heartbeats": 0,
+            "heartbeats_blacked_out": 0,
         }
         self._shutdown = asyncio.Event()
         self._slot_free = asyncio.Event()
@@ -207,6 +275,8 @@ class VerifyServer:
         self._connections: set = set()
         self._server_span = None
         self._listener = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -219,10 +289,18 @@ class VerifyServer:
         recorder = _telemetry.get_recorder()
         if recorder is not None:
             self._server_span = recorder.start_span(
-                "serve.server", pid=os.getpid(), protocol=PROTOCOL
+                "serve.server",
+                pid=os.getpid(),
+                protocol=PROTOCOL,
+                server_id=self.server_id,
+                role=self.role,
             )
-        self._recover()
         loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.replication.start(loop)
+        if self.role == "primary":
+            self._recover()
+        # a standby's journal is a replica: recovery happens at promote()
         for signum in (signal.SIGTERM, signal.SIGINT):
             with contextlib.suppress(NotImplementedError, RuntimeError):
                 loop.add_signal_handler(signum, self.request_shutdown)
@@ -239,15 +317,31 @@ class VerifyServer:
             )
             where = f"{self.config.host}:{self.config.port}"
         dispatcher = asyncio.create_task(self._dispatch())
-        _log.info(f"repro-serve listening on {where} ({PROTOCOL})")
+        monitor = asyncio.create_task(self._monitor())
+        replica_task = (
+            asyncio.create_task(self.replica.run())
+            if self.replica is not None
+            else None
+        )
+        _log.info(
+            f"repro-serve [{self.role}] {self.server_id!r} listening on "
+            f"{where} ({PROTOCOL})"
+        )
         await self._shutdown.wait()
         _log.info("repro-serve draining: admissions closed")
         self.draining = True
         self._listener.close()
         await self._listener.wait_closed()
+        if replica_task is not None:
+            replica_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await replica_task
         await self._drained()
         self.queue.close()
         await dispatcher
+        monitor.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await monitor
         # close surviving client connections so their handler tasks end on a
         # clean EOF instead of being cancelled by loop teardown
         for conn in list(self._connections):
@@ -299,6 +393,10 @@ class VerifyServer:
                     work.recovered = True
                     if self.queue.try_put(work, work.priority):
                         self.inflight[work.key] = work
+                        # the requeued recovery is a synthetic waiterless
+                        # request: counting its accept here keeps the
+                        # lifetime invariant accepted == answered + cancelled
+                        self.counters["accepted"] += 1
                         self.counters["recovered_requeued"] += 1
                         self.journal.finish(request_id, journal_mod.REQUEUED)
                         continue
@@ -310,6 +408,53 @@ class VerifyServer:
                 f"({self.config.recover}), {report.torn_lines} torn line(s)"
             )
         _telemetry.counter("serve.recovered_open", len(report.open_requests))
+
+    async def promote(self, reason: str = "") -> None:
+        """Standby takeover: become primary, requeue the replicated journal.
+
+        Every accepted-but-unanswered request in the replica journal is
+        requeued as a waiterless recovery computation (the verdict lands in
+        the shared cache), so clients resubmitting through the router — by
+        the same journaled request id — coalesce onto work that is already
+        running instead of starting over.  Admissions open the moment the
+        role flips.
+        """
+        if self.role == "primary":
+            return
+        self.role = "primary"
+        self.counters["takeovers"] += 1
+        _telemetry.counter("serve.takeovers")
+        _log.info(
+            f"takeover: {self.server_id!r} promoting to primary"
+            + (f" ({reason})" if reason else "")
+        )
+        if self.journal is None:
+            return
+        report = self.journal.replay()
+        self.recovery_report = report.to_json()
+        requeued = 0
+        for request_id, request in report.open_requests.items():
+            work = self._work_from_request(request) if request.get("design") else None
+            if work is not None:
+                existing = self.inflight.get(work.key)
+                if existing is not None and not existing.done:
+                    self.journal.finish(request_id, journal_mod.REQUEUED)
+                    continue
+                work.recovered = True
+                if self.queue.try_put(work, work.priority):
+                    self.inflight[work.key] = work
+                    self.counters["accepted"] += 1
+                    self.counters["takeover_requeued"] += 1
+                    requeued += 1
+                    self.journal.finish(request_id, journal_mod.REQUEUED)
+                    continue
+            self.counters["recovered_nacked"] += 1
+            self.journal.finish(request_id, journal_mod.NACKED)
+        _telemetry.counter("serve.takeover_requeued", requeued)
+        _log.info(
+            f"takeover complete: {requeued} open request(s) requeued, "
+            f"{report.torn_lines} torn line(s)"
+        )
 
     def _work_from_request(self, request: dict) -> Optional[_Work]:
         """Rebuild a :class:`_Work` from a journaled request document."""
@@ -340,7 +485,13 @@ class VerifyServer:
         conn = _Connection(reader, writer)
         self._connections.add(conn)
         await conn.send(
-            {"op": "hello", "protocol": PROTOCOL, "pid": os.getpid()}
+            {
+                "op": "hello",
+                "protocol": PROTOCOL,
+                "pid": os.getpid(),
+                "role": self.role,
+                "server_id": self.server_id,
+            }
         )
         try:
             while True:
@@ -368,6 +519,7 @@ class VerifyServer:
 
     def _forget_connection(self, conn: _Connection) -> None:
         """Client gone: cancel its stakes; abort orphaned computations."""
+        self.replication.drop_connection(conn)
         for request_id, work in list(conn.requests.items()):
             work.waiters = [w for w in work.waiters if w.conn is not conn]
             self.counters["cancelled"] += 1
@@ -389,6 +541,38 @@ class VerifyServer:
             await conn.send({"ok": True, "op": "pong", "draining": self.draining})
         elif op == OP_STATS:
             await conn.send({"ok": True, "op": "stats", "stats": self.stats()})
+        elif op == OP_STATUS:
+            await conn.send({"ok": True, "op": "status", "status": self.status_doc()})
+        elif op == OP_HEARTBEAT:
+            self.counters["heartbeats"] += 1
+            if _fault_injection.heartbeat_blackout(
+                f"{self.server_id}:{self.counters['heartbeats']}"
+            ):
+                # chaos: say nothing at all — the router must count a miss
+                self.counters["heartbeats_blacked_out"] += 1
+                return
+            await conn.send(
+                {
+                    "ok": True,
+                    "op": "heartbeat-reply",
+                    "id": request.get("id"),
+                    "role": self.role,
+                    "server_id": self.server_id,
+                    "draining": self.draining,
+                    "queue_depth": len(self.queue),
+                    "active": self.active,
+                    "concurrency": self.throttle.concurrency,
+                    "repl_lag": self.replication.lag(),
+                    "accepted": self.counters["accepted"],
+                    "answered": self.counters["answered"],
+                    "cancelled": self.counters["cancelled"],
+                    "uptime_s": round(time.monotonic() - self._started_at, 3),
+                }
+            )
+        elif op == OP_REPL_SUBSCRIBE:
+            await self.replication.handle_subscribe(conn, request)
+        elif op == OP_REPL_ACK:
+            self.replication.handle_ack(conn, request)
         elif op == OP_DRAIN:
             await conn.send({"ok": True, "op": "draining"})
             self.request_shutdown()
@@ -400,6 +584,15 @@ class VerifyServer:
 
     async def _admit(self, conn: _Connection, request: dict) -> None:
         request_id = str(request.get("id") or f"req-{uuid.uuid4().hex[:12]}")
+        if self.role != "primary":
+            self.counters["rejected_standby"] += 1
+            _telemetry.counter("serve.rejected_standby")
+            await conn.send(
+                {"ok": False, "op": "rejected", "id": request_id,
+                 "reason": "standby",
+                 "primary": self.config.primary_addr or ""}
+            )
+            return
         if self.draining:
             self.counters["rejected_draining"] += 1
             _telemetry.counter("serve.rejected_draining")
@@ -437,13 +630,18 @@ class VerifyServer:
         if existing is not None and not existing.cancelled and not existing.done:
             # coalesce: share the in-flight computation, skip the queue
             existing.waiters.append(waiter)
-            existing.recovered = False
+            if existing.recovered:
+                # a real client adopts the waiterless recovery: close the
+                # synthetic stake so accepted == answered + cancelled holds
+                existing.recovered = False
+                self.counters["cancelled"] += 1
             conn.requests[request_id] = existing
             self.counters["accepted"] += 1
             self.counters["coalesced"] += 1
             _telemetry.counter("serve.coalesced")
             if self.journal is not None:
                 self.journal.accept(request_id, _journal_doc(request))
+                await self.replication.wait_synced()
             await conn.send(
                 {"ok": True, "op": "accepted", "id": request_id,
                  "key": key, "coalesced": True}
@@ -475,6 +673,9 @@ class VerifyServer:
         _telemetry.gauge("serve.queue_depth", len(self.queue))
         if self.journal is not None:
             self.journal.accept(request_id, _journal_doc(request))
+            # sync level: the accept a client sees is one a standby can
+            # already honor after takeover
+            await self.replication.wait_synced()
         await conn.send(
             {"ok": True, "op": "accepted", "id": request_id,
              "key": key, "coalesced": False}
@@ -501,6 +702,8 @@ class VerifyServer:
     async def _run_work(self, work: _Work) -> None:
         try:
             work.running = True
+            work.started_t = time.monotonic()
+            work.last_progress = work.started_t
             recorder = _telemetry.get_recorder()
             if recorder is not None:
                 work.span = recorder.start_span(
@@ -509,6 +712,11 @@ class VerifyServer:
                     key=work.key,
                     property=work.property_name,
                     waiters=len(work.waiters),
+                    server_id=self.server_id,
+                    # the cross-box stitch key: one request id names this
+                    # computation on every box that touched it
+                    request=(work.waiters[0].request_id if work.waiters else ""),
+                    requests=[w.request_id for w in work.waiters],
                 )
             timeout = _pool_deadline(work)
             started = time.monotonic()
@@ -570,6 +778,8 @@ class VerifyServer:
                 attempt_timeout=self.config.attempt_timeout_s,
                 certify=self.config.certify,
                 abort=work.abort,
+                stall=work.stall,
+                on_event=self._supervision_observer(work),
             )
             if self.cache is not None and result.is_definitive:
                 self.cache.store(
@@ -591,9 +801,14 @@ class VerifyServer:
         if source == "cache":
             validated = True
         elif self.cache is not None and result.is_definitive:
+            # either the in-ladder --certify gate (detail["certified"]) or an
+            # explicit validation record marks the verdict as validated
             validated = bool(
                 isinstance(result.detail, dict)
-                and result.detail.get("validation", {}).get("ok")
+                and (
+                    result.detail.get("certified") is True
+                    or result.detail.get("validation", {}).get("ok")
+                )
             ) or None
         reply_base = {
             "ok": True,
@@ -625,10 +840,93 @@ class VerifyServer:
             self.counters["answered"] += 1
 
     # ------------------------------------------------------------------
+    # streamed progress and liveness
+    # ------------------------------------------------------------------
+    def _supervision_observer(self, work: _Work):
+        """Event callback for one computation's supervisor (executor thread).
+
+        Progress-bearing events reset the work's liveness clock and are
+        forwarded to every waiter as ``progress`` frames; the hop onto the
+        event loop goes through ``call_soon_threadsafe`` because the
+        supervisor runs in a worker thread.
+        """
+        loop = self._loop
+
+        def observer(event: dict) -> None:
+            name = event.get("event")
+            if name in ("progress", "attempt", "retry", "stall-killed", "degraded"):
+                work.last_progress = time.monotonic()
+                work.progress_events += 1
+                doc = {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("event",)
+                    and isinstance(value, (int, float, str, bool))
+                }
+                doc["kind"] = name
+                if loop is not None and not loop.is_closed():
+                    loop.call_soon_threadsafe(self._fan_out_progress, work, doc)
+
+        return observer
+
+    def _fan_out_progress(self, work: _Work, doc: dict) -> None:
+        if work.done or not work.waiters:
+            return
+        work.last_progress_sent = time.monotonic()
+        elapsed = round(time.monotonic() - (work.started_t or work.admitted_t), 3)
+        for waiter in list(work.waiters):
+            frame = {
+                "ok": True,
+                "op": OP_PROGRESS,
+                "id": waiter.request_id,
+                "key": work.key,
+                "elapsed_s": elapsed,
+                **doc,
+            }
+            self.counters["progress_frames"] += 1
+            asyncio.ensure_future(waiter.conn.send(frame))
+
+    async def _monitor(self) -> None:
+        """Periodic liveness duty: idle-window throttle ticks, ``progress``
+        keepalive frames for quiet computations, and the wedged-request
+        kill — no computation progress inside ``progress_timeout_s`` sets
+        the work's stall event, which the supervisor turns into a
+        kill-and-retry (``timed-out`` attempt, normal retry budget)."""
+        interval = 0.25
+        while True:
+            await asyncio.sleep(interval)
+            self.throttle.tick()
+            now = time.monotonic()
+            for work in list(self.inflight.values()):
+                if not work.running or work.done:
+                    continue
+                keepalive = self.config.progress_interval_s
+                if (
+                    keepalive
+                    and work.waiters
+                    and now - max(work.last_progress_sent, work.started_t or 0.0)
+                    >= keepalive
+                ):
+                    self._fan_out_progress(work, {"kind": "alive"})
+                window = self.config.progress_timeout_s
+                if window and now - work.last_progress > window:
+                    work.last_progress = now  # one kill per silent window
+                    work.stall_kills += 1
+                    self.counters["wedged_kills"] += 1
+                    _telemetry.counter("serve.wedged_kills")
+                    _log.info(
+                        f"liveness: no progress on {work.key[:16]} for "
+                        f"{window:.1f}s — killing the attempt for retry"
+                    )
+                    work.stall.set()
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         document = {
             "protocol": PROTOCOL,
             "pid": os.getpid(),
+            "role": self.role,
+            "server_id": self.server_id,
             "draining": self.draining,
             "counters": dict(self.counters),
             "queue_depth": len(self.queue),
@@ -649,6 +947,27 @@ class VerifyServer:
                 "path": self.journal.path,
                 "appends": self.journal.appends,
                 "torn_injected": self.journal.torn_injected,
+            }
+        return document
+
+    def status_doc(self) -> dict:
+        """The ``status`` op's richer document: stats + replication + telemetry.
+
+        Lifetime accept/answer/cancel counters come straight from
+        ``counters``; the telemetry counter snapshot (when a recorder is
+        recording) adds the cross-subsystem view the PR-8 spans feed.
+        """
+        document = self.stats()
+        document["uptime_s"] = round(time.monotonic() - self._started_at, 3)
+        document["replication"] = self.replication.status()
+        if self.replica is not None:
+            document["standby"] = self.replica.status()
+        recorder = _telemetry.get_recorder()
+        if recorder is not None:
+            snapshot = recorder.snapshot()
+            document["telemetry"] = {
+                "counters": snapshot.get("counters", {}),
+                "gauges": snapshot.get("gauges", {}),
             }
         return document
 

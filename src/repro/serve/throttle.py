@@ -18,6 +18,7 @@ pool.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 
@@ -31,6 +32,7 @@ class AdaptiveThrottle:
         target_latency_s: float = 5.0,
         alpha: float = 0.3,
         window: int = 4,
+        idle_window_s: Optional[float] = None,
     ) -> None:
         if min_concurrency < 1 or max_concurrency < min_concurrency:
             raise ValueError("need 1 <= min_concurrency <= max_concurrency")
@@ -39,15 +41,23 @@ class AdaptiveThrottle:
         self.target_latency_s = target_latency_s
         self.alpha = alpha
         self.window = max(1, window)
+        #: a window that closes with zero completed requests; the stale EWMA
+        #: sample must not keep steering, so it decays toward target instead
+        self.idle_window_s = (
+            idle_window_s if idle_window_s is not None else max(1.0, target_latency_s)
+        )
         self.concurrency = max_concurrency
         self.ewma_latency_s: Optional[float] = None
         self.observations = 0
         self.adjustments = 0
+        self.idle_windows = 0
         self._since_adjust = 0
+        self._last_event = time.monotonic()
 
     def observe(self, latency_s: float) -> int:
         """Feed one completed computation's latency; returns the new target."""
         latency_s = max(0.0, float(latency_s))
+        self._last_event = time.monotonic()
         if self.ewma_latency_s is None:
             self.ewma_latency_s = latency_s
         else:
@@ -56,6 +66,28 @@ class AdaptiveThrottle:
         self._since_adjust += 1
         if self._since_adjust < self.window:
             return self.concurrency
+        return self._adjust()
+
+    def tick(self, now: Optional[float] = None) -> int:
+        """Close an observation window that saw zero completed requests.
+
+        Without this, a burst of slow work followed by silence leaves the
+        EWMA pinned at the stale overload sample and the pool shrunk forever.
+        An idle window instead decays the EWMA toward the target, so the
+        stale sample loses its grip and fresh (fast) observations can grow
+        the pool back promptly.
+        """
+        now = time.monotonic() if now is None else now
+        if now - self._last_event < self.idle_window_s:
+            return self.concurrency
+        self._last_event = now
+        self.idle_windows += 1
+        if self.ewma_latency_s is None:
+            return self.concurrency
+        self.ewma_latency_s += self.alpha * (self.target_latency_s - self.ewma_latency_s)
+        return self._adjust()
+
+    def _adjust(self) -> int:
         if self.ewma_latency_s > self.target_latency_s:
             proposed = self.concurrency - 1
         elif self.ewma_latency_s < self.target_latency_s / 2.0:
@@ -78,4 +110,10 @@ class AdaptiveThrottle:
             "ewma_latency_s": self.ewma_latency_s,
             "observations": self.observations,
             "adjustments": self.adjustments,
+            "idle_windows": self.idle_windows,
         }
+
+
+#: historical name for the controller (Scrapy heritage); kept as an alias so
+#: docs and operator muscle memory both resolve
+AutoThrottle = AdaptiveThrottle

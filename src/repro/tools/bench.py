@@ -2017,6 +2017,452 @@ def write_server_report(
 
 
 # ---------------------------------------------------------------------------
+# --fleet-soak: failover soak over a primary + hot standby + router fleet
+# ---------------------------------------------------------------------------
+
+#: chaos installed in each *member*: replication-link drops and heartbeat
+#: blackouts must be absorbed, not amplified
+FLEET_MEMBER_RATES = "repl-link-drop=0.25,heartbeat-blackout=0.15"
+#: chaos installed in the *router*: reconnect attempts sporadically refused
+FLEET_ROUTER_RATES = "router-partition=0.2"
+#: phase-1 sanity sweep through the router (fast, definitive designs)
+FLEET_SANITY_DESIGNS = ["daio", "rcu", "fifo", "iqueue", "arbiter", "tlc"]
+#: phase-2 slow queries in flight when the primary is SIGKILLed
+FLEET_SLOW_QUERIES = [
+    {"design": "mac16", "representation": "word", "bound": 96},
+    {"design": "mac16", "representation": "bit", "bound": 96},
+    {"design": "huffman_enc", "representation": "word", "bound": 96},
+    {"design": "huffman_dec", "representation": "word", "bound": 96},
+]
+
+
+def _start_fleet_router(args_list: List[str]) -> "subprocess.Popen":
+    import subprocess
+    import sys
+
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.router_cli", *args_list],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+
+
+def _fleet_reply_gate(
+    design: str, reply: Dict[str, object], wrong: List[str], unvalidated: List[str]
+) -> None:
+    """Classify one reply against ground truth + the certification gate."""
+    if _soak_classify(design, reply) == Status.WRONG:
+        wrong.append(f"{design}: {reply.get('status')}")
+    if (
+        str(reply.get("status")) in Status.DEFINITIVE
+        and reply.get("validated") is not True
+    ):
+        unvalidated.append(f"{design}: validated={reply.get('validated')!r}")
+
+
+def run_fleet_soak(
+    seed: int, timeout: float, workdir: str
+) -> Dict[str, object]:
+    """Fleet failover soak: two shards, a hot standby, a router, one SIGKILL.
+
+    Topology: member ``box-a`` (primary, ``--sync-level sync``) streams its
+    journal to hot standby ``box-a2`` (same certificate cache dir); member
+    ``box-b`` serves the other shard solo; a ``repro-serve-router`` fronts
+    both, with ``box-a2`` registered as box-a's failover address.  All four
+    run as subprocesses in their own sessions (the leak oracle) with
+    member/router chaos rates installed.
+
+    Phase 1 drives a sanity sweep and a cross-client coalescing pair
+    through the router under replication-link, heartbeat-blackout and
+    router-partition faults.  Phase 2 submits slow queries, waits for them
+    to be accepted (sync level: the standby already holds their journal
+    records), SIGKILLs the primary's whole process group mid-computation,
+    and requires every accepted request to be answered exactly once by the
+    promoted standby or by failover routing — zero lost, zero duplicates.
+    After a graceful fleet drain the surviving members' counters must
+    balance (``accepted == answered + cancelled``), every definitive
+    verdict must have been certificate-validated, no process group may
+    survive, and the stitched cross-box trace must lint clean.
+    """
+    import signal as signal_module
+    import threading
+
+    from repro.obs.export import (
+        lint_trace, load_trace, stitch_traces, write_trace_document,
+    )
+    from repro.serve.client import ServeClient, ServeError
+
+    sock_a = os.path.join(workdir, "a.sock")
+    sock_a2 = os.path.join(workdir, "a2.sock")
+    sock_b = os.path.join(workdir, "b.sock")
+    sock_router = os.path.join(workdir, "router.sock")
+    cache_a = os.path.join(workdir, "cache_a")
+    cache_b = os.path.join(workdir, "cache_b")
+    trace_a2 = os.path.join(workdir, "trace_a2.jsonl")
+    trace_b = os.path.join(workdir, "trace_b.jsonl")
+    trace_router = os.path.join(workdir, "trace_router.jsonl")
+    stitched_path = os.path.join(workdir, "trace_fleet.jsonl")
+    row: Dict[str, object] = {"seed": seed}
+    deadline_s = max(120.0, timeout * 3)
+
+    primary = _start_soak_server([
+        "--socket", sock_a, "--cache-dir", cache_a,
+        "--journal", os.path.join(workdir, "a.journal"),
+        "--server-id", "box-a", "--sync-level", "sync",
+        "--workers", "1:2", "--max-queue", "16", "--certify",
+        "--default-deadline", str(deadline_s),
+        "--progress-interval", "1.0",
+        "--chaos", str(seed), "--chaos-rates", FLEET_MEMBER_RATES, "-q",
+    ])
+    standby = _start_soak_server([
+        "--socket", sock_a2, "--cache-dir", cache_a,
+        "--journal", os.path.join(workdir, "a2.journal"),
+        "--server-id", "box-a2", "--standby-of", f"unix:{sock_a}",
+        "--takeover-after", "1.5", "--trace", trace_a2,
+        "--workers", "1:2", "--max-queue", "16", "--certify",
+        "--default-deadline", str(deadline_s),
+        "--progress-interval", "1.0", "-q",
+    ])
+    solo = _start_soak_server([
+        "--socket", sock_b, "--cache-dir", cache_b,
+        "--journal", os.path.join(workdir, "b.journal"),
+        "--server-id", "box-b", "--trace", trace_b,
+        "--workers", "1:2", "--max-queue", "16", "--certify",
+        "--default-deadline", str(deadline_s),
+        "--progress-interval", "1.0",
+        "--chaos", str(seed + 1), "--chaos-rates", FLEET_MEMBER_RATES, "-q",
+    ])
+    pgids = {"box-a": primary.pid, "box-a2": standby.pid, "box-b": solo.pid}
+    if not all(_soak_wait_socket(s) for s in (sock_a, sock_a2, sock_b)):
+        for proc in (primary, standby, solo):
+            proc.kill()
+        row["error"] = "a fleet member never opened its socket"
+        row["ok"] = False
+        return row
+
+    router = _start_fleet_router([
+        "--socket", sock_router,
+        "--member", f"box-a=unix:{sock_a},standby=unix:{sock_a2}",
+        "--member", f"box-b=unix:{sock_b}",
+        "--heartbeat-interval", "0.25", "--trace", trace_router,
+        "--chaos", str(seed), "--chaos-rates", FLEET_ROUTER_RATES, "-q",
+    ])
+    pgids["router"] = router.pid
+    if not _soak_wait_socket(sock_router):
+        for proc in (primary, standby, solo, router):
+            proc.kill()
+        row["error"] = "router never opened its socket"
+        row["ok"] = False
+        return row
+    time.sleep(1.0)  # let the standby subscribe and the heartbeats settle
+
+    wrong: List[str] = []
+    unvalidated: List[str] = []
+    _log.verbose(f"fleet soak seed {seed}: fleet up (router pid {router.pid})")
+
+    # ----- phase 1: sanity sweep + cross-client coalescing under chaos ---
+    progress_frames: List[str] = []
+    with ServeClient(socket_path=sock_router, timeout=deadline_s) as client:
+        client.on_progress = lambda frame: progress_frames.append(
+            str(frame.get("kind"))
+        )
+        for design in FLEET_SANITY_DESIGNS:
+            reply = client.verify(
+                design=design, representation="word", bound=64,
+                deadline_s=deadline_s,
+            )
+            _fleet_reply_gate(design, reply, wrong, unvalidated)
+
+    barrier = threading.Barrier(2)
+    pair_replies: List[Dict[str, object]] = []
+    pair_lock = threading.Lock()
+
+    def pair_client() -> None:
+        with ServeClient(socket_path=sock_router, timeout=deadline_s) as c:
+            barrier.wait()
+            accepted = c.submit(
+                {"design": "barrel16", "representation": "word", "bound": 80,
+                 "deadline_s": deadline_s}
+            )
+            reply = c.result(accepted["id"])
+            with pair_lock:
+                pair_replies.append(reply)
+
+    pair_threads = [threading.Thread(target=pair_client) for _ in range(2)]
+    for thread in pair_threads:
+        thread.start()
+    for thread in pair_threads:
+        thread.join(timeout=deadline_s)
+    for reply in pair_replies:
+        _fleet_reply_gate("barrel16", reply, wrong, unvalidated)
+    with ServeClient(socket_path=sock_router, timeout=30.0) as client:
+        router_status_mid = client.status()
+    row["phase1"] = {
+        "sanity_queries": len(FLEET_SANITY_DESIGNS),
+        "pair_replies": len(pair_replies),
+        "router_coalesced": router_status_mid["counters"]["coalesced"],
+        "progress_frames_seen": len(progress_frames),
+        "progress_kinds": sorted(set(progress_frames)),
+        "ok": (
+            len(pair_replies) == 2
+            and len(progress_frames) >= 1
+        ),
+    }
+    _log.verbose("fleet soak: phase 1 done")
+
+    # ----- phase 2: SIGKILL the primary mid-computation ------------------
+    killed_row: Dict[str, object] = {}
+    results: Dict[str, Dict[str, object]] = {}
+    result_lock = threading.Lock()
+    submit_client = ServeClient(socket_path=sock_router, timeout=deadline_s)
+    submitted: List[Tuple[str, str]] = []  # (design, request id)
+    accepted_members: List[str] = []
+    for query in FLEET_SLOW_QUERIES:
+        accepted = submit_client.submit(dict(query, deadline_s=deadline_s))
+        submitted.append((str(query["design"]), accepted["id"]))
+        accepted_members.append(str(accepted.get("member", "?")))
+    time.sleep(0.6)  # let the computations start on the primary
+    try:
+        os.killpg(pgids["box-a"], signal_module.SIGKILL)
+    except ProcessLookupError:
+        pass
+    primary.wait(timeout=30)  # reap: a zombie would fool the leak oracle
+    kill_t0 = time.monotonic()
+
+    def read_result(design: str, request_id: str) -> None:
+        reply = submit_client.result(request_id)
+        with result_lock:
+            results[request_id] = dict(reply, _design=design)
+
+    # results come back in completion order on the one connection; read
+    # them sequentially (the client parks out-of-order frames by id)
+    reader_errors: List[str] = []
+    for design, request_id in submitted:
+        try:
+            read_result(design, request_id)
+        except (ServeError, OSError) as error:
+            reader_errors.append(f"{request_id}: {error}")
+    failover_wall = time.monotonic() - kill_t0
+    submit_client.close()
+    for reply in results.values():
+        _fleet_reply_gate(str(reply["_design"]), reply, wrong, unvalidated)
+    killed_row["submitted"] = len(submitted)
+    killed_row["answered"] = len(results)
+    killed_row["routed_to"] = sorted(set(accepted_members))
+    killed_row["reader_errors"] = reader_errors
+    killed_row["failover_wall_s"] = round(failover_wall, 3)
+    killed_row["client_reconnects"] = submit_client.reconnects
+    killed_row["zero_lost"] = len(results) == len(submitted)
+    killed_row["zero_duplicates"] = len(results) == len(
+        {rid for _, rid in submitted}
+    )
+    killed_row["primary_group_gone"] = _soak_group_gone(pgids["box-a"])
+    killed_row["ok"] = (
+        killed_row["zero_lost"]
+        and killed_row["zero_duplicates"]
+        and not reader_errors
+        and killed_row["primary_group_gone"]
+    )
+    row["phase2_kill"] = killed_row
+    _log.verbose(
+        f"fleet soak: phase 2 done ({len(results)}/{len(submitted)} answered "
+        f"{failover_wall:.1f}s after SIGKILL)"
+    )
+
+    # ----- drain: accounting on the survivors, then shut the fleet down --
+    member_counters: Dict[str, Dict[str, object]] = {}
+    accounting_ok = True
+    takeover_seen = False
+    for name, sock in (("box-a2", sock_a2), ("box-b", sock_b)):
+        try:
+            with ServeClient(
+                socket_path=sock, timeout=30.0, reconnect=False
+            ) as client:
+                status = client.status()
+                client.drain()
+        except (ServeError, OSError) as error:
+            member_counters[name] = {"error": str(error)}
+            accounting_ok = False
+            continue
+        counters = status["counters"]
+        member_counters[name] = {
+            "role": status.get("role"),
+            "accepted": counters["accepted"],
+            "answered": counters["answered"],
+            "cancelled": counters["cancelled"],
+            "takeovers": counters.get("takeovers", 0),
+            "takeover_requeued": counters.get("takeover_requeued", 0),
+            "wedged_kills": counters.get("wedged_kills", 0),
+            "heartbeats": counters.get("heartbeats", 0),
+            "heartbeats_blacked_out": counters.get("heartbeats_blacked_out", 0),
+            "repl_link_drops": (status.get("replication") or {}).get(
+                "link_drops", 0
+            ),
+            "balanced": counters["accepted"]
+            == counters["answered"] + counters["cancelled"],
+        }
+        accounting_ok = accounting_ok and bool(
+            member_counters[name]["balanced"]
+        )
+        if counters.get("takeovers"):
+            takeover_seen = True
+    row["members"] = member_counters
+    row["accounting_ok"] = accounting_ok
+    row["takeover_seen"] = takeover_seen
+
+    try:
+        with ServeClient(
+            socket_path=sock_router, timeout=30.0, reconnect=False
+        ) as client:
+            router_final = client.status()
+            client.drain()
+        row["router"] = {
+            "counters": router_final["counters"],
+            "members": [
+                {k: m[k] for k in ("name", "healthy", "connects", "partitions",
+                                   "resubmitted")}
+                for m in router_final["members"]
+            ],
+        }
+    except (ServeError, OSError) as error:
+        row["router"] = {"error": str(error)}
+
+    exits = {}
+    for name, proc in (("box-a2", standby), ("box-b", solo), ("router", router)):
+        try:
+            exits[name] = proc.wait(timeout=deadline_s)
+        except Exception:  # noqa: BLE001 - timeout: count it as a leak
+            proc.kill()
+            exits[name] = None
+    row["drain_exit_codes"] = exits
+    leaks = {
+        name: not _soak_group_gone(pgid) for name, pgid in pgids.items()
+    }
+    row["leaked_groups"] = {name: leaked for name, leaked in leaks.items() if leaked}
+    zero_leaks = not row["leaked_groups"]
+
+    # ----- stitch the surviving boxes' traces and lint the union ---------
+    stitch_row: Dict[str, object] = {}
+    try:
+        traces = [load_trace(p) for p in (trace_a2, trace_b, trace_router)]
+        stitched = stitch_traces(traces)
+        write_trace_document(stitched, stitched_path)
+        problems = lint_trace(stitched)
+        fleet_roots = sum(
+            1 for span in stitched.spans if span.get("name") == "fleet.request"
+        )
+        stitch_row = {
+            "traces": 3,
+            "spans": len(stitched.spans),
+            "cross_box_requests": fleet_roots,
+            "problems": problems,
+            "ok": not problems and fleet_roots >= 1,
+        }
+    except (OSError, ValueError) as error:
+        stitch_row = {"error": str(error), "ok": False}
+    row["stitched_trace"] = stitch_row
+    row["_stitched_path"] = stitched_path
+
+    row["wrong_verdicts"] = wrong
+    row["unvalidated_verdicts"] = unvalidated
+    row["ok"] = (
+        bool(row["phase1"]["ok"])
+        and bool(killed_row.get("ok"))
+        and accounting_ok
+        and takeover_seen
+        and zero_leaks
+        and bool(stitch_row.get("ok"))
+        and exits.get("box-a2") == 0
+        and exits.get("box-b") == 0
+        and exits.get("router") == 0
+        and not wrong
+        and not unvalidated
+    )
+    _log.info(
+        f"fleet soak seed {seed}: "
+        f"{killed_row.get('answered', 0)}/{killed_row.get('submitted', 0)} "
+        f"answered after SIGKILL ({killed_row.get('failover_wall_s', '?')}s), "
+        f"takeover {'seen' if takeover_seen else 'MISSING'}, "
+        f"accounting {'ok' if accounting_ok else 'BROKEN'}, "
+        f"leaks {'none' if zero_leaks else 'PRESENT'}, "
+        f"stitched trace {'clean' if stitch_row.get('ok') else 'DIRTY'}, "
+        f"{'OK' if row['ok'] else 'FAILED'}"
+    )
+    return row
+
+
+def write_fleet_report(
+    soak: Dict[str, object], out: str, timeout: float, trace_out: Optional[str]
+) -> bool:
+    """Write ``BENCH_fleet.json``; True when every fleet gate held."""
+    stitched_path = soak.pop("_stitched_path", None)
+    all_ok = bool(soak.get("ok"))
+    report = {
+        "config": {
+            "mode": "fleet-soak",
+            "cpus": os.cpu_count(),
+            "timeout_s": timeout,
+            "seed": soak.get("seed"),
+            "member_chaos_rates": FLEET_MEMBER_RATES,
+            "router_chaos_rates": FLEET_ROUTER_RATES,
+            "python": platform.python_version(),
+        },
+        "tool": "repro.tools.bench --fleet-soak",
+        "soak": soak,
+        "summary": {
+            "failover_zero_lost": bool(
+                soak.get("phase2_kill", {}).get("zero_lost")
+            ),
+            "failover_zero_duplicates": bool(
+                soak.get("phase2_kill", {}).get("zero_duplicates")
+            ),
+            "failover_wall_s": soak.get("phase2_kill", {}).get(
+                "failover_wall_s"
+            ),
+            "takeover_seen": bool(soak.get("takeover_seen")),
+            "fleet_accounting_ok": bool(soak.get("accounting_ok")),
+            "zero_wrong_verdicts": not soak.get("wrong_verdicts"),
+            "all_verdicts_certificate_validated": not soak.get(
+                "unvalidated_verdicts"
+            ),
+            "zero_leaked_process_groups": not soak.get("leaked_groups"),
+            "stitched_trace_clean": bool(
+                soak.get("stitched_trace", {}).get("ok")
+            ),
+            "cross_box_requests_stitched": soak.get("stitched_trace", {}).get(
+                "cross_box_requests"
+            ),
+            "all_ok": all_ok,
+        },
+    }
+    write_json_atomic(out, report)
+    if (
+        trace_out
+        and isinstance(stitched_path, str)
+        and os.path.exists(stitched_path)
+    ):
+        import shutil
+
+        shutil.copyfile(stitched_path, trace_out)
+        print(f"stitched fleet trace copied to {trace_out}")
+    summary = report["summary"]
+    print(
+        f"\nwrote {out}: failover "
+        f"{'zero-lost' if summary['failover_zero_lost'] else 'LOST REQUESTS'}/"
+        f"{'zero-dup' if summary['failover_zero_duplicates'] else 'DUPLICATES'} "
+        f"in {summary['failover_wall_s']}s, takeover "
+        f"{'seen' if summary['takeover_seen'] else 'MISSING'}, accounting "
+        f"{'ok' if summary['fleet_accounting_ok'] else 'BROKEN'}, verdicts "
+        f"{'validated' if summary['all_verdicts_certificate_validated'] else 'UNVALIDATED'}, "
+        f"leaks {'none' if summary['zero_leaked_process_groups'] else 'LEAKED'}, "
+        f"stitched trace "
+        f"{'clean' if summary['stitched_trace_clean'] else 'DIRTY'}"
+    )
+    return all_ok
+
+
+# ---------------------------------------------------------------------------
 # --kernels: the raw-speed replay tiers (scalar / packed / compiled)
 # ---------------------------------------------------------------------------
 
@@ -2511,8 +2957,17 @@ def main(argv: Optional[List[str]] = None) -> int:
              "leaked processes and clean traces",
     )
     parser.add_argument(
+        "--fleet-soak", action="store_true",
+        help="fleet failover soak: primary + journal-replicated hot standby "
+             "+ solo shard behind a repro-serve-router, SIGKILL the primary "
+             "mid-computation; gates on zero lost / zero duplicate replies, "
+             "fleet-wide accept accounting, certificate-validated verdicts, "
+             "zero leaked process groups and a clean stitched cross-box "
+             "trace",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0,
-        help="--serve-soak: chaos seed for the soaked server (default 0)",
+        help="--serve-soak/--fleet-soak: chaos seed (default 0)",
     )
     parser.add_argument(
         "--seeds", type=int, default=3,
@@ -2608,13 +3063,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     modes = (
         args.portfolio, args.certify, args.incremental, args.serve,
-        args.faults, args.serve_soak, args.kernels, args.obs,
+        args.faults, args.serve_soak, args.fleet_soak, args.kernels, args.obs,
     )
     if sum(map(bool, modes)) > 1:
         parser.error(
             "--portfolio, --certify, --incremental, --serve, --faults, "
-            "--serve-soak, --kernels and --obs are mutually exclusive"
+            "--serve-soak, --fleet-soak, --kernels and --obs are mutually "
+            "exclusive"
         )
+
+    if args.fleet_soak:
+        import tempfile
+
+        workdir = tempfile.mkdtemp(prefix="repro-fleet-", dir="/tmp")
+        soak = run_fleet_soak(args.seed, args.timeout, workdir)
+        out = args.out or "BENCH_fleet.json"
+        trace_out = args.trace_out or "BENCH_fleet_trace.jsonl"
+        return 0 if write_fleet_report(soak, out, args.timeout, trace_out) else 1
 
     if args.serve_soak:
         import tempfile

@@ -1,0 +1,150 @@
+"""The ``repro-serve-router`` front end: route a fleet of verify servers.
+
+Start a router in front of one or more ``repro-serve`` members::
+
+    repro-serve-router --socket /tmp/repro-router.sock \\
+        --member box-a=unix:/tmp/a.sock,standby=unix:/tmp/a-standby.sock \\
+        --member box-b=127.0.0.1:7412
+
+Clients connect to the router exactly as to a single server
+(``repro-verify --server /tmp/repro-router.sock``); the router shards
+requests by certificate-store key prefix, health-checks members with a
+heartbeat, coalesces identical queries across client boxes and fails over
+to a member's hot standby (started with ``repro-serve --standby-of``)
+transparently.  See :mod:`repro.serve.router`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro.obs import log as _log
+from repro.obs import telemetry as _telemetry
+from repro.serve.router import MemberSpec, RouterConfig, VerifyRouter
+
+
+def _parse_member(spec: str) -> MemberSpec:
+    """``name=ADDR[,standby=ADDR]`` → :class:`MemberSpec`."""
+    name, sep, rest = spec.partition("=")
+    if not sep or not name or not rest:
+        raise argparse.ArgumentTypeError(
+            f"bad --member {spec!r} (want NAME=ADDR[,standby=ADDR])"
+        )
+    addr, _, standby_part = rest.partition(",")
+    standby = None
+    if standby_part:
+        key, sep2, value = standby_part.partition("=")
+        if key.strip() != "standby" or not sep2 or not value:
+            raise argparse.ArgumentTypeError(
+                f"bad --member {spec!r} (want NAME=ADDR[,standby=ADDR])"
+            )
+        standby = value.strip()
+    return MemberSpec(name=name.strip(), addr=addr.strip(), standby_addr=standby)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-router",
+        description="route verify requests across a fleet of repro-serve "
+                    "members (repro-serve-v1 on both sides)",
+    )
+    where = parser.add_mutually_exclusive_group(required=True)
+    where.add_argument(
+        "--socket", metavar="PATH", help="listen on a unix socket at PATH"
+    )
+    where.add_argument(
+        "--tcp", metavar="HOST:PORT", help="listen on a TCP host:port"
+    )
+    parser.add_argument(
+        "--member", action="append", type=_parse_member, required=True,
+        metavar="NAME=ADDR[,standby=ADDR]",
+        help="a fleet member: primary address plus an optional hot-standby "
+             "address tried on failover (repeatable; order fixes shards)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="S",
+        help="health-check cadence per member (default 0.5)",
+    )
+    parser.add_argument(
+        "--heartbeat-misses", type=int, default=3, metavar="N",
+        help="consecutive silent intervals before a member is marked down "
+             "(default 3)",
+    )
+    parser.add_argument(
+        "--route-wait", type=float, default=5.0, metavar="S",
+        help="how long an admission waits for any healthy member before "
+             "rejecting (default 5)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a repro-trace-v1 JSONL of the router's life on drain",
+    )
+    parser.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="install a seeded fault plan (router-partition site; "
+             "soak/test harness only)",
+    )
+    parser.add_argument(
+        "--chaos-rates", default=None, metavar="KIND=RATE,...",
+        help="per-kind fault rates for --chaos, e.g. 'router-partition=0.1'",
+    )
+    _log.add_verbosity_flags(parser)
+    args = parser.parse_args(argv)
+    _log.configure_from_args(args)
+
+    host, port = None, 0
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            parser.error(f"bad --tcp spec {args.tcp!r} (want HOST:PORT)")
+
+    config = RouterConfig(
+        socket_path=args.socket,
+        host=host or None,
+        port=port,
+        members=list(args.member),
+        heartbeat_interval_s=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+        route_wait_s=args.route_wait,
+    )
+
+    if args.chaos is not None:
+        from repro.faults import injection
+        from repro.faults.plan import FaultPlan
+
+        rates = {}
+        if args.chaos_rates:
+            for item in args.chaos_rates.split(","):
+                kind, _, rate = item.partition("=")
+                rates[kind.strip()] = float(rate)
+        injection.install(FaultPlan(seed=args.chaos, rates=rates))
+        _log.info(f"chaos plan installed (seed {args.chaos})")
+
+    if args.trace:
+        _telemetry.enable()
+    router = VerifyRouter(config)
+    try:
+        asyncio.run(router.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        return 0
+    finally:
+        if args.trace:
+            _write_trace(args.trace)
+    return 0
+
+
+def _write_trace(path: str) -> None:
+    from repro.obs.export import write_trace
+
+    recorder = _telemetry.get_recorder()
+    if recorder is not None:
+        write_trace(recorder, path, meta={"tool": "repro-serve-router"})
+
+
+if __name__ == "__main__":
+    sys.exit(main())

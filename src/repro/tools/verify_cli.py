@@ -661,9 +661,21 @@ def _run_server_client(args) -> int:
         client = ServeClient(host=host, port=int(port))
     else:
         client = ServeClient(socket_path=args.server)
+    # streamed liveness: the server sends progress frames (ladder rung
+    # landed, bound reached, keepalives) while a proof runs
+    client.on_progress = lambda frame: _log.info(
+        "progress "
+        + " ".join(
+            f"{name}={frame[name]}"
+            for name in ("id", "kind", "phase", "rung", "config", "bound",
+                         "k", "elapsed_s")
+            if name in frame
+        )
+    )
     _log.info(
         f"connected to {args.server} ({client.hello.get('protocol')}, "
-        f"server pid {client.hello.get('pid')})"
+        f"server pid {client.hello.get('pid')}, "
+        f"role {client.hello.get('role', 'primary')})"
     )
     wrong = False
     inconclusive = False

@@ -124,6 +124,44 @@ def test_journal_close_without_accept_is_legal(tmp_path):
     assert report.open_requests == {} and report.total_records == 1
 
 
+def test_journal_compaction_races_live_appends(tmp_path):
+    """compact() must never drop a record landing concurrently.
+
+    The server compacts on drain while the event loop may still be closing
+    requests; the journal's lock makes an in-flight append atomic with
+    respect to the replay-then-rename.  Hammer both sides from two threads
+    and check the end state parses cleanly and holds every surviving id.
+    """
+    path = str(tmp_path / "journal.jsonl")
+    journal = RequestJournal(path)
+    appends = 400
+    stop = threading.Event()
+
+    def writer():
+        for n in range(appends):
+            journal.accept(f"req-{n}", {"design": "daio", "bound": n})
+            if n % 3 == 0:
+                journal.finish(f"req-{n}", journal_mod.ANSWERED)
+        stop.set()
+
+    compactions = 0
+    thread = threading.Thread(target=writer)
+    thread.start()
+    while not stop.is_set():
+        journal.compact()
+        compactions += 1
+    thread.join()
+    journal.close()
+    assert compactions >= 1
+
+    # no torn lines, and exactly the never-closed ids are open: a lost
+    # accept or a lost close would show up as a wrong open set
+    report = RequestJournal(path).replay()
+    assert report.torn_lines == 0
+    expected_open = {f"req-{n}" for n in range(appends) if n % 3 != 0}
+    assert set(report.open_requests) == expected_open
+
+
 # ---------------------------------------------------------------------------
 # bounded priority admission queue
 # ---------------------------------------------------------------------------
@@ -204,6 +242,46 @@ def test_throttle_adjusts_at_most_once_per_window():
     throttle.observe(0.001)
     throttle.observe(0.001)
     assert throttle.concurrency == 8 and throttle.adjustments == 0
+
+
+def test_throttle_idle_windows_decay_stale_ewma_toward_target():
+    """A zero-completion window must not leave the pool shrunk forever.
+
+    A burst of slow work pins the EWMA above target and shrinks
+    concurrency; if no further work completes, observe() never runs again
+    and the stale sample would keep the pool small.  The monitor's tick()
+    closes each idle window by decaying the EWMA toward target, growing
+    the pool back without a single fresh observation.
+    """
+    throttle = AdaptiveThrottle(
+        min_concurrency=1, max_concurrency=4, target_latency_s=1.0,
+        window=1, idle_window_s=0.5,
+    )
+    for _ in range(6):
+        throttle.observe(40.0)  # overload burst
+    assert throttle.concurrency == 1
+    assert throttle.ewma_latency_s > throttle.target_latency_s
+
+    # ticks inside the idle window are no-ops (the window hasn't closed)
+    assert throttle.tick(now=time.monotonic() + 0.1) == 1
+    assert throttle.idle_windows == 0
+
+    # then silence: each closed idle window decays the stale sample toward
+    # target (never past it — growth still requires evidence of fast work)
+    now = time.monotonic()
+    for n in range(1, 40):
+        throttle.tick(now=now + 0.6 * n)
+    assert throttle.idle_windows >= 10
+    assert 1.0 < throttle.ewma_latency_s < 1.1  # stale 40s sample released
+
+    # two fast observations now suffice to start growing the pool back;
+    # without the decay they would have been swamped by the stale sample
+    throttle.observe(0.01)
+    throttle.observe(0.01)
+    assert throttle.ewma_latency_s < throttle.target_latency_s / 2.0
+    for _ in range(6):
+        throttle.observe(0.01)
+    assert throttle.concurrency == 4
 
 
 # ---------------------------------------------------------------------------
